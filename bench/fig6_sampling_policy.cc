@@ -1,0 +1,62 @@
+// Figure 6: per-step sample time for PS/DS x cache level x degree x density.
+//
+// The offline profiling microbenchmark (§4.4): synthetic uniform-degree VPs sized
+// so the policy's working set targets L1, L2, L3, or DRAM, degrees 16..1024,
+// densities 1 and 0.25 walker/edge. Expected shapes (§4.2 observations 1-4):
+// faster caches win; PS improves with degree while DS is flat; density helps
+// in-cache; PS-DRAM is the worst combination.
+#include "bench/bench_util.h"
+#include "src/core/profiler.h"
+
+int main() {
+  using namespace fm;
+  const CacheInfo& info = DetectCacheInfo();
+  AnalyticCostModel sizing(info);
+
+  const Degree degrees[] = {16, 64, 256, 1024};
+  struct Level {
+    const char* name;
+    uint64_t budget;
+  } levels[] = {{"L1", 0}, {"L2", 0}, {"L3", 0}, {"DRAM", 0}};
+  levels[0].budget = info.l1_bytes / 2;
+  levels[1].budget = info.l2_bytes / 2;
+  levels[2].budget = info.l3_bytes / 2;
+  levels[3].budget = info.l3_bytes * static_cast<uint64_t>(EnvInt64("FM_FIG6_DRAM_X", 4));
+
+  for (double density : {1.0, 0.25}) {
+    PrintHeader(std::string("Figure 6: sample ns/step at density ") +
+                (density == 1.0 ? "1.0" : "0.25") + " walker/edge");
+    std::printf("%-10s", "degree");
+    for (const auto& level : levels) {
+      std::printf("  PS-%-6s DS-%-6s", level.name, level.name);
+    }
+    std::printf("\n");
+    for (Degree degree : degrees) {
+      std::printf("%-10u", degree);
+      for (const auto& level : levels) {
+        for (SamplePolicy policy : {SamplePolicy::kPS, SamplePolicy::kDS}) {
+          uint64_t per_vertex = policy == SamplePolicy::kPS
+                                    ? (4 + kCacheLineBytes)
+                                    : (static_cast<uint64_t>(degree) * 4 + 8);
+          // High-degree DS rows need very few vertices to fill a cache level;
+          // allow tiny VPs (floor of 4) so the L1 column stays honest.
+          uint64_t vertices = std::max<uint64_t>(level.budget / per_vertex, 4);
+          // Cap edge count so the DRAM row stays tractable on small boxes.
+          uint64_t max_edges =
+              static_cast<uint64_t>(EnvInt64("FM_FIG6_MAX_EDGES", 16 << 20));
+          if (vertices * degree > max_edges) {
+            vertices = std::max<uint64_t>(max_edges / degree, 64);
+          }
+          double ns = MeasureSamplePointNs(static_cast<Vid>(vertices), degree,
+                                           density, policy, 7, 2);
+          std::printf("  %8.2f ", ns);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper shapes: all curves drop toward L1; PS falls with degree, DS flat;\n"
+      "density 1.0 beats 0.25 in-cache; PS-DRAM is the slowest series.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 8: overall walk speed, FlashMob vs KnightKing vs GraphVite.
+//
+// (a) DeepWalk per-step time on the five stand-ins. Paper: KnightKing 2.2-3.8x
+//     faster than GraphVite; FlashMob 5.4-13.7x faster than KnightKing.
+// (b) node2vec per-step time, FlashMob vs KnightKing (GraphVite omitted as in the
+//     paper). Paper: 3.9-19.9x speedup, smaller than DeepWalk's because the
+//     second-order connectivity checks break VP locality.
+#include "bench/bench_util.h"
+
+namespace fm {
+namespace {
+
+struct Row {
+  std::string graph;
+  double flashmob = 0;
+  double knightking = 0;
+  double graphvite = 0;
+};
+
+Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite) {
+  CsrGraph g = LoadDataset(spec);
+  Row row;
+  row.graph = spec.name;
+
+  WalkSpec walk = PerfSpec(g, algorithm);
+  if (algorithm == WalkAlgorithm::kNode2Vec) {
+    // node2vec steps are ~5x costlier; halve the walker rounds to keep the whole
+    // suite CI-friendly (per-step times are walker-count invariant here).
+    walk.num_walkers = std::max<Wid>(walk.num_walkers / 2, g.num_vertices());
+  }
+  auto spec_for = [&](const CsrGraph&) { return walk; };
+
+  FlashMobEngine fmob(g, PerfEngineOptions());
+  row.flashmob = fmob.Run(spec_for(g)).stats.PerStepNs();
+
+  BaselineOptions base_options;
+  base_options.count_visits = false;
+  KnightKingEngine knk(g, base_options);
+  row.knightking = knk.Run(spec_for(g)).stats.PerStepNs();
+
+  if (with_graphvite) {
+    GraphViteEngine gv(g, base_options);
+    row.graphvite = gv.Run(spec_for(g)).stats.PerStepNs();
+  }
+  return row;
+}
+
+void PrintRows(const std::vector<Row>& rows, bool with_graphvite) {
+  std::printf("%-5s %12s %12s", "graph", "FlashMob", "KnightKing");
+  if (with_graphvite) {
+    std::printf(" %12s", "GraphVite");
+  }
+  std::printf(" %10s\n", "speedup");
+  for (const Row& row : rows) {
+    std::printf("%-5s %9.1f ns %9.1f ns", row.graph.c_str(), row.flashmob,
+                row.knightking);
+    if (with_graphvite) {
+      std::printf(" %9.1f ns", row.graphvite);
+    }
+    std::printf(" %9.1fx\n", row.knightking / row.flashmob);
+  }
+}
+
+}  // namespace
+}  // namespace fm
+
+int main() {
+  using namespace fm;
+  PrintHeader("Figure 8a: DeepWalk per-step time");
+  std::vector<Row> deepwalk;
+  for (const DatasetSpec& spec : AllDatasets()) {
+    deepwalk.push_back(RunOne(spec, WalkAlgorithm::kDeepWalk, true));
+  }
+  PrintRows(deepwalk, true);
+  std::printf("\npaper: FlashMob 21.5-36.7 ns/step; 5.4-13.7x over KnightKing; "
+              "KnightKing 2.2-3.8x over GraphVite\n");
+
+  PrintHeader("Figure 8b: node2vec per-step time (p=2, q=0.5)");
+  std::vector<Row> node2vec;
+  for (const DatasetSpec& spec : AllDatasets()) {
+    node2vec.push_back(RunOne(spec, WalkAlgorithm::kNode2Vec, false));
+  }
+  PrintRows(node2vec, false);
+  std::printf("\npaper: 3.9-19.9x speedup over KnightKing (lower than DeepWalk "
+              "due to cross-VP connectivity checks)\n");
+  return 0;
+}

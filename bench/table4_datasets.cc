@@ -1,0 +1,28 @@
+// Table 4: graphs used in the evaluation.
+//
+// Prints the paper's dataset inventory next to the generated stand-ins (DESIGN.md
+// §3 documents the substitution: degree-distribution-matched synthetic graphs,
+// scaled by FM_SCALE).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fm;
+  PrintHeader("Table 4: Graphs used (paper full-size vs generated stand-ins)");
+  std::printf("%-5s %-12s | %12s %14s %9s | %10s %12s %9s %7s\n", "Name", "Graph",
+              "paper |V|", "paper |E|", "paper CSR", "standin|V|", "standin|E|",
+              "CSR", "avg deg");
+  for (const DatasetSpec& spec : AllDatasets()) {
+    CsrGraph g = LoadDataset(spec);
+    std::printf("%-5s %-12s | %12llu %14llu %8.1fGB | %10u %12llu %9s %7.1f\n",
+                spec.name.c_str(), spec.full_name.c_str(),
+                static_cast<unsigned long long>(spec.paper_vertices),
+                static_cast<unsigned long long>(spec.paper_edges),
+                spec.paper_csr_gb, g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                HumanBytes(g.CsrBytes()).c_str(),
+                static_cast<double>(g.num_edges()) / g.num_vertices());
+  }
+  std::printf("\nFM_SCALE=%g (set FM_SCALE to grow the stand-ins)\n",
+              EnvDouble("FM_SCALE", 1.0));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// node2vec_linkpred: link prediction with second-order walks (§2.1's application).
+//
+// Pipeline: hold out a sample of edges from a graph; run node2vec on the remaining
+// graph; score vertex pairs by co-occurrence within a window of the walks; evaluate
+// AUC of held-out edges against random non-edges. Demonstrates the node2vec engine
+// end to end and that its BFS/DFS interpolation (p, q) affects task quality.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/fm.h"
+
+namespace {
+
+using namespace fm;
+
+// Pair key for co-occurrence counting.
+uint64_t Key(Vid a, Vid b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+double EvaluateAuc(const std::unordered_map<uint64_t, uint32_t>& scores,
+                   const std::vector<std::pair<Vid, Vid>>& positives,
+                   const std::vector<std::pair<Vid, Vid>>& negatives) {
+  auto score_of = [&](const std::pair<Vid, Vid>& e) -> double {
+    auto it = scores.find(Key(e.first, e.second));
+    return it == scores.end() ? 0.0 : it->second;
+  };
+  // AUC = P(score(pos) > score(neg)) + 0.5 P(==), over all pairs.
+  uint64_t wins = 0, ties = 0;
+  for (const auto& p : positives) {
+    for (const auto& n : negatives) {
+      double sp = score_of(p);
+      double sn = score_of(n);
+      wins += sp > sn;
+      ties += sp == sn;
+    }
+  }
+  double total = static_cast<double>(positives.size()) * negatives.size();
+  return (wins + 0.5 * ties) / total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fm;
+  // 1. Build an undirected power-law graph and hold out 300 edges.
+  // A locality-structured graph (most edges connect nearby ranks): unlike a pure
+  // configuration model, it has real neighborhood structure for the walks to learn.
+  PowerLawConfig config;
+  config.degrees.num_vertices = 20000;
+  config.degrees.avg_degree = 10;
+  config.degrees.alpha = 0.3;
+  config.locality = 0.85;
+  config.locality_window = 64;
+  CsrGraph base = GeneratePowerLawGraph(config);
+
+  XorShiftRng rng(2024);
+  std::unordered_set<uint64_t> held;
+  std::vector<std::pair<Vid, Vid>> positives;
+  GraphBuilder builder(base.num_vertices());
+  for (Vid v = 0; v < base.num_vertices(); ++v) {
+    for (Vid u : base.neighbors(v)) {
+      if (u == v) {
+        continue;
+      }
+      if (positives.size() < 300 && base.degree(v) > 2 &&
+          rng.NextDouble() < 0.002 && held.insert(Key(v, u)).second) {
+        positives.push_back({v, u});
+        continue;  // held out
+      }
+      builder.AddEdge(v, u);
+      builder.AddEdge(u, v);
+    }
+  }
+  std::vector<std::pair<Vid, Vid>> negatives;
+  while (negatives.size() < 300) {
+    Vid a = static_cast<Vid>(rng.NextBounded(base.num_vertices()));
+    Vid b = static_cast<Vid>(rng.NextBounded(base.num_vertices()));
+    if (a != b && !base.HasEdge(a, b) && !base.HasEdge(b, a)) {
+      negatives.push_back({a, b});
+    }
+  }
+  CsrGraph train = builder.Build({.remove_duplicate_edges = true});
+  DegreeSortedGraph sorted = DegreeSort(train);
+  std::printf("train graph: |V|=%u |E|=%llu; %zu held-out edges, %zu non-edges\n",
+              sorted.graph.num_vertices(),
+              static_cast<unsigned long long>(sorted.graph.num_edges()),
+              positives.size(), negatives.size());
+
+  // 2. node2vec walks at two (p, q) settings; score pairs by windowed
+  //    co-occurrence (a standard cheap proxy for embedding dot products).
+  for (auto [p, q] : {std::pair<double, double>{1.0, 1.0}, {0.25, 4.0}}) {
+    FlashMobEngine engine(sorted.graph);
+    WalkSpec spec = Node2VecSpec(sorted.graph.num_vertices(), p, q,
+                                 /*steps=*/20, /*rounds=*/2);
+    WalkResult result = engine.Run(spec);
+
+    std::unordered_map<uint64_t, uint32_t> scores;
+    const uint32_t kWindow = 4;
+    for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
+      auto path = result.paths.Path(w);
+      for (size_t i = 0; i < path.size(); ++i) {
+        for (size_t j = i + 1; j < std::min(path.size(), i + 1 + kWindow); ++j) {
+          Vid a = sorted.new_to_old[path[i]];
+          Vid b = sorted.new_to_old[path[j]];
+          if (a != b) {
+            ++scores[Key(a, b)];
+          }
+        }
+      }
+    }
+    double auc = EvaluateAuc(scores, positives, negatives);
+    std::printf("node2vec p=%.2f q=%.2f: %.1f ns/step, link-pred AUC = %.3f\n", p,
+                q, result.stats.PerStepNs(), auc);
+  }
+  std::printf("(AUC well above 0.5 = walks carry real link signal)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Aggregate estimation over graphs by random-walk sampling (§1: "aggregate
+// estimation" is a classic random-walk application; Bar-Yossef et al. 2000,
+// Katzir et al. 2011).
+//
+// A stationary random walk on an undirected-ish graph visits v with probability
+// proportional to d(v). Importance reweighting by 1/d(v) turns those biased
+// samples into unbiased vertex-level estimators:
+//   - average degree:  harmonic-mean correction  E_stat[1/d]^-1 = |E|/|V| avg
+//   - vertex count:    birthday-paradox collision counting on weighted samples
+// These estimators only need walk *samples*, not graph sweeps — the workload
+// pattern FlashMob accelerates.
+#ifndef SRC_APPS_AGGREGATE_H_
+#define SRC_APPS_AGGREGATE_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+struct AggregateOptions {
+  uint32_t walkers = 2000;
+  uint32_t steps = 64;       // walk length before samples are drawn
+  uint32_t burn_in = 16;     // discard the first steps while mixing
+  uint64_t seed = 1;
+};
+
+// Estimates the average degree |E| / |V| from stationary walk samples.
+double EstimateAverageDegree(const CsrGraph& graph,
+                             const AggregateOptions& options = {});
+
+// Estimates |V| via degree-corrected collision counting (Katzir et al.).
+double EstimateVertexCount(const CsrGraph& graph,
+                           const AggregateOptions& options = {});
+
+}  // namespace fm
+
+#endif  // SRC_APPS_AGGREGATE_H_

@@ -1,0 +1,79 @@
+#include "src/apps/embedding_corpus.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace fm {
+namespace {
+
+inline Vid MapId(const CorpusOptions& options, Vid v) {
+  return options.id_map != nullptr ? (*options.id_map)[v] : v;
+}
+
+}  // namespace
+
+uint64_t ForEachSkipGramPair(const PathSet& paths, const CorpusOptions& options,
+                             const std::function<void(Vid, Vid)>& fn) {
+  FM_CHECK(options.window >= 1);
+  uint64_t count = 0;
+  for (Wid w = 0; w < paths.num_walkers(); ++w) {
+    auto path = paths.Path(w);  // stops at termination
+    for (size_t i = 0; i < path.size(); ++i) {
+      size_t lo = i > options.window ? i - options.window : 0;
+      size_t hi = std::min(path.size(), i + options.window + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) {
+          continue;
+        }
+        fn(MapId(options, path[i]), MapId(options, path[j]));
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t WriteSkipGramPairs(const PathSet& paths, const CorpusOptions& options,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open corpus output: " + path);
+  }
+  std::vector<uint32_t> buffer;
+  buffer.reserve(1 << 16);
+  uint64_t count = ForEachSkipGramPair(paths, options, [&](Vid a, Vid b) {
+    buffer.push_back(a);
+    buffer.push_back(b);
+    if (buffer.size() >= (1 << 16)) {
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size() * 4));
+      buffer.clear();
+    }
+  });
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size() * 4));
+  if (!out) {
+    throw std::runtime_error("corpus write failed: " + path);
+  }
+  return count;
+}
+
+std::vector<uint64_t> CorpusTokenCounts(const PathSet& paths, Vid num_vertices,
+                                        const CorpusOptions& options) {
+  std::vector<uint64_t> counts(num_vertices, 0);
+  for (Wid w = 0; w < paths.num_walkers(); ++w) {
+    for (uint32_t s = 0; s <= paths.steps(); ++s) {
+      Vid v = paths.At(w, s);
+      if (v == kInvalidVid) {
+        break;
+      }
+      ++counts[MapId(options, v)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace fm

@@ -1,0 +1,38 @@
+// Skip-gram training-pair corpus generation from walk output — the node-embedding
+// front end (§1, §2.1): DeepWalk/node2vec walks become word2vec-style sentences,
+// and (center, context) pairs within a window feed the embedding trainer.
+#ifndef SRC_APPS_EMBEDDING_CORPUS_H_
+#define SRC_APPS_EMBEDDING_CORPUS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/path_set.h"
+
+namespace fm {
+
+struct CorpusOptions {
+  uint32_t window = 5;  // +- context window along the walk
+  // Optional relabelling applied to emitted vertex IDs (DegreeSort's new_to_old).
+  const std::vector<Vid>* id_map = nullptr;
+};
+
+// Calls fn(center, context) for every skip-gram pair; returns the pair count.
+// Terminated path suffixes are skipped.
+uint64_t ForEachSkipGramPair(const PathSet& paths, const CorpusOptions& options,
+                             const std::function<void(Vid, Vid)>& fn);
+
+// Writes pairs as consecutive uint32 pairs to a binary file; returns the count.
+// Throws std::runtime_error on I/O failure.
+uint64_t WriteSkipGramPairs(const PathSet& paths, const CorpusOptions& options,
+                            const std::string& path);
+
+// Token frequency of the corpus (per vertex, after id_map) — what a trainer's
+// negative-sampling table is built from.
+std::vector<uint64_t> CorpusTokenCounts(const PathSet& paths, Vid num_vertices,
+                                        const CorpusOptions& options = {});
+
+}  // namespace fm
+
+#endif  // SRC_APPS_EMBEDDING_CORPUS_H_

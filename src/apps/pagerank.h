@@ -1,0 +1,42 @@
+// PageRank estimation by Monte-Carlo random walks (§1 lists PageRank among the
+// classic random-walk workloads).
+//
+// The Monte-Carlo formulation (Avrachenkov et al., 2007): launch walkers that
+// terminate with probability (1 - damping) per step; normalized visit counts
+// converge to PageRank. Personalization restricts the start distribution to a seed
+// set. Dead ends hold their mass in place (the engine's stay-put semantics); the
+// exact power-iteration comparator uses matching semantics so the two agree.
+#ifndef SRC_APPS_PAGERANK_H_
+#define SRC_APPS_PAGERANK_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace fm {
+
+struct PageRankOptions {
+  double damping = 0.85;        // continuation probability
+  Wid walkers_per_vertex = 10;  // MC sample budget
+  uint32_t max_steps = 64;      // cap on walk length (survival beyond is ~d^64)
+  uint64_t seed = 1;
+  // Empty = global PageRank (uniform-over-vertices restart); otherwise
+  // personalized on these seeds.
+  std::vector<Vid> personalization;
+};
+
+// MC estimate via FlashMobEngine; returns a probability vector over vertices.
+std::vector<double> EstimatePageRank(const CsrGraph& graph,
+                                     const PageRankOptions& options = {});
+
+// Exact comparator by power iteration with the same dead-end semantics.
+std::vector<double> PowerIterationPageRank(const CsrGraph& graph,
+                                           const PageRankOptions& options = {},
+                                           uint32_t iterations = 60);
+
+// L1 distance between two distributions (convergence metric for tests).
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace fm
+
+#endif  // SRC_APPS_PAGERANK_H_

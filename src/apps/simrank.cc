@@ -1,0 +1,118 @@
+#include "src/apps/simrank.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace fm {
+namespace {
+
+// One coupled backward-walk sample: returns c^T for the meeting time T, or 0.
+double OneSample(const CsrGraph& reverse, Vid a, Vid b,
+                 const SimRankOptions& options, XorShiftRng& rng) {
+  if (a == b) {
+    return 1.0;
+  }
+  double contribution = options.decay;
+  for (uint32_t step = 0; step < options.max_steps; ++step) {
+    Degree da = reverse.degree(a);
+    Degree db = reverse.degree(b);
+    if (da == 0 || db == 0) {
+      return 0.0;  // a walk with no in-neighbors can never meet
+    }
+    a = reverse.neighbors(a)[rng.NextBounded(da)];
+    b = reverse.neighbors(b)[rng.NextBounded(db)];
+    if (a == b) {
+      return contribution;
+    }
+    contribution *= options.decay;
+  }
+  return 0.0;  // truncated: treat as never meeting (bias < c^max_steps)
+}
+
+}  // namespace
+
+double EstimateSimRank(const CsrGraph& reverse, Vid a, Vid b,
+                       const SimRankOptions& options) {
+  FM_CHECK(a < reverse.num_vertices() && b < reverse.num_vertices());
+  FM_CHECK(options.decay > 0 && options.decay < 1);
+  if (a == b) {
+    return 1.0;
+  }
+  double total = 0;
+  XorShiftRng rng(DeriveSeed(options.seed, (static_cast<uint64_t>(a) << 32) ^ b));
+  for (uint32_t s = 0; s < options.samples; ++s) {
+    total += OneSample(reverse, a, b, options, rng);
+  }
+  return total / options.samples;
+}
+
+std::vector<double> EstimateSimRankBatch(
+    const CsrGraph& reverse, const std::vector<std::pair<Vid, Vid>>& pairs,
+    const SimRankOptions& options) {
+  std::vector<double> result(pairs.size());
+  ThreadPool::Global().ParallelFor(pairs.size(), [&](uint64_t i, uint32_t) {
+    result[i] = EstimateSimRank(reverse, pairs[i].first, pairs[i].second, options);
+  });
+  return result;
+}
+
+std::vector<std::vector<double>> ExactSimRank(const CsrGraph& graph, double decay,
+                                              uint32_t iterations) {
+  Vid n = graph.num_vertices();
+  FM_CHECK_MSG(n <= 2048, "ExactSimRank is O(V^2); test oracle only");
+  CsrGraph reverse = [&] {
+    // Local transpose to avoid a header dependency loop.
+    std::vector<Eid> offsets(static_cast<size_t>(n) + 1, 0);
+    for (Vid t : graph.edges()) {
+      ++offsets[t + 1];
+    }
+    for (Vid v = 0; v < n; ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    std::vector<Vid> edges(graph.num_edges());
+    std::vector<Eid> cursor(offsets.begin(), offsets.end() - 1);
+    for (Vid v = 0; v < n; ++v) {
+      for (Vid t : graph.neighbors(v)) {
+        edges[cursor[t]++] = v;
+      }
+    }
+    return CsrGraph(std::move(offsets), std::move(edges));
+  }();
+
+  std::vector<std::vector<double>> s(n, std::vector<double>(n, 0.0));
+  for (Vid v = 0; v < n; ++v) {
+    s[v][v] = 1.0;
+  }
+  std::vector<std::vector<double>> next = s;
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (Vid a = 0; a < n; ++a) {
+      auto ia = reverse.neighbors(a);
+      for (Vid b = 0; b < n; ++b) {
+        if (a == b) {
+          next[a][b] = 1.0;
+          continue;
+        }
+        auto ib = reverse.neighbors(b);
+        if (ia.empty() || ib.empty()) {
+          next[a][b] = 0.0;
+          continue;
+        }
+        double acc = 0;
+        for (Vid u : ia) {
+          for (Vid v : ib) {
+            acc += s[u][v];
+          }
+        }
+        next[a][b] = decay * acc /
+                     (static_cast<double>(ia.size()) * static_cast<double>(ib.size()));
+      }
+    }
+    s.swap(next);
+  }
+  return s;
+}
+
+}  // namespace fm

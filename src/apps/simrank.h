@@ -1,0 +1,44 @@
+// SimRank estimation by coupled backward random walks (Jeh & Widom 2002; the paper
+// cites SimRank as a classic random-walk acceleration target, §1/§6).
+//
+// s(a, b) = E[ c^T ] where T is the first meeting time of two independent random
+// walks on the *reverse* graph started at a and b (s = 0 if they never meet).
+// The Monte-Carlo estimator runs `samples` coupled walk pairs of length
+// `max_steps`; the exact comparator runs the naive O(|V|^2) iteration (small
+// graphs / tests only).
+#ifndef SRC_APPS_SIMRANK_H_
+#define SRC_APPS_SIMRANK_H_
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+struct SimRankOptions {
+  double decay = 0.6;       // the usual C constant
+  uint32_t max_steps = 11;  // c^11 < 0.004: truncation error is negligible
+  uint32_t samples = 10000;
+  uint64_t seed = 1;
+};
+
+// MC estimate of s(a, b). `reverse` must be Transpose(graph) (passed in so callers
+// amortize the transpose across queries).
+double EstimateSimRank(const CsrGraph& reverse, Vid a, Vid b,
+                       const SimRankOptions& options = {});
+
+// Batch variant: one entry per query pair.
+std::vector<double> EstimateSimRankBatch(
+    const CsrGraph& reverse, const std::vector<std::pair<Vid, Vid>>& pairs,
+    const SimRankOptions& options = {});
+
+// Exact fixed-point iteration over all pairs; O(iterations * |E|^2 / |V|) time and
+// O(|V|^2) memory — test oracle for small graphs.
+std::vector<std::vector<double>> ExactSimRank(const CsrGraph& graph,
+                                              double decay = 0.6,
+                                              uint32_t iterations = 12);
+
+}  // namespace fm
+
+#endif  // SRC_APPS_SIMRANK_H_

@@ -1,0 +1,70 @@
+// Shared single-step kernels for the baseline engines (§2.2).
+//
+// Baselines reproduce the memory behaviour of prior systems: every step randomly
+// accesses the *whole graph* (offset lookup + edge read anywhere in the CSR), with
+// no partitioning, batching, or walker coordination.
+#ifndef SRC_BASELINE_COMMON_H_
+#define SRC_BASELINE_COMMON_H_
+
+#include <algorithm>
+
+#include "src/core/sample_stage.h"  // HasEdgeHooked
+#include "src/graph/csr_graph.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/vertex_alias.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+template <typename Rng, typename Hook>
+Vid BaselineStepFirstOrder(const CsrGraph& graph, Vid v,
+                           const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+  hook.Load(graph.offsets().data() + v, 2 * sizeof(Eid));
+  Eid begin = graph.edge_begin(v);
+  Degree deg = static_cast<Degree>(graph.edge_end(v) - begin);
+  if (deg == 0) {
+    return v;
+  }
+  Eid pick = begin + (alias != nullptr
+                          ? alias->SampleIndex(graph, v, rng, hook)
+                          : static_cast<Degree>(rng.NextBounded(deg)));
+  hook.Load(graph.edges().data() + pick, sizeof(Vid));
+  return graph.edges()[pick];
+}
+
+template <typename Rng, typename Hook>
+Vid BaselineStepNode2Vec(const CsrGraph& graph, Vid cur, Vid prev,
+                         const Node2VecParams& params, Rng& rng, Hook& hook) {
+  hook.Load(graph.offsets().data() + cur, 2 * sizeof(Eid));
+  Eid begin = graph.edge_begin(cur);
+  Degree deg = static_cast<Degree>(graph.edge_end(cur) - begin);
+  if (deg == 0) {
+    return cur;
+  }
+  if (prev == kInvalidVid) {
+    Eid pick = begin + rng.NextBounded(deg);
+    hook.Load(graph.edges().data() + pick, sizeof(Vid));
+    return graph.edges()[pick];
+  }
+  double bound = std::max({1.0, 1.0 / params.p, 1.0 / params.q});
+  while (true) {
+    Eid pick = begin + rng.NextBounded(deg);
+    hook.Load(graph.edges().data() + pick, sizeof(Vid));
+    Vid candidate = graph.edges()[pick];
+    double w;
+    if (candidate == prev) {
+      w = 1.0 / params.p;
+    } else if (HasEdgeHooked(graph, prev, candidate, hook)) {
+      w = 1.0;
+    } else {
+      w = 1.0 / params.q;
+    }
+    if (rng.NextDouble() * bound < w) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace fm
+
+#endif  // SRC_BASELINE_COMMON_H_

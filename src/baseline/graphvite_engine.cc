@@ -1,0 +1,114 @@
+#include "src/baseline/graphvite_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baseline/common.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace fm {
+namespace {
+
+inline Vid VertexOfEdgePos(std::span<const Eid> offsets, Eid pos) {
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
+  return static_cast<Vid>((it - offsets.begin()) - 1);
+}
+
+}  // namespace
+
+GraphViteEngine::GraphViteEngine(const CsrGraph& graph, BaselineOptions options)
+    : graph_(graph), options_(options) {
+  FM_CHECK(graph.num_vertices() > 0);
+  if (options_.pool == nullptr) {
+    options_.pool = &ThreadPool::Global();
+  }
+}
+
+WalkResult GraphViteEngine::Run(const WalkSpec& spec) {
+  NullMemHook hook;
+  if (options_.use_mersenne) {
+    return RunImpl<MersenneRng>(spec, hook, false);
+  }
+  return RunImpl<XorShiftRng>(spec, hook, false);
+}
+
+WalkResult GraphViteEngine::RunInstrumented(const WalkSpec& spec,
+                                            CacheHierarchy* sim) {
+  CacheSimHook hook(sim);
+  if (options_.use_mersenne) {
+    return RunImpl<MersenneRng>(spec, hook, true);
+  }
+  return RunImpl<XorShiftRng>(spec, hook, true);
+}
+
+template <typename Rng, typename Hook>
+WalkResult GraphViteEngine::RunImpl(const WalkSpec& spec, Hook& hook,
+                                    bool single_thread) {
+  const Vid n = graph_.num_vertices();
+  const Eid m = graph_.num_edges();
+  const bool node2vec = spec.algorithm == WalkAlgorithm::kNode2Vec;
+  FM_CHECK_MSG(!spec.use_edge_weights || graph_.weighted(),
+               "use_edge_weights requires a weighted graph");
+  FM_CHECK_MSG(!(spec.use_edge_weights && node2vec),
+               "weighted node2vec is not supported");
+  std::unique_ptr<VertexAliasTables> alias_storage;
+  if (spec.use_edge_weights) {
+    alias_storage = std::make_unique<VertexAliasTables>(graph_);
+  }
+  const VertexAliasTables* alias = alias_storage.get();
+  Wid walkers = spec.num_walkers != 0 ? spec.num_walkers : n;
+
+  ThreadPool single_pool(1);
+  ThreadPool* pool = single_thread ? &single_pool : options_.pool;
+
+  WalkResult result;
+  result.stats.walker_density =
+      static_cast<double>(walkers) / std::max<double>(1.0, static_cast<double>(m));
+  result.stats.episodes = 1;
+
+  PathSet paths(walkers, spec.steps);
+  Timer walk_timer;
+  // One walker's whole path at a time: every transition depends on the previous
+  // one — a graph-wide pointer chase.
+  pool->ParallelChunks(walkers, [&](uint64_t begin, uint64_t end, uint32_t) {
+    Rng rng(DeriveSeed(spec.seed, 0x6E17ULL ^ begin));
+    for (Wid j = begin; j < end; ++j) {
+      Vid v = (m > 0) ? VertexOfEdgePos(graph_.offsets(), rng.NextBounded(m))
+                      : static_cast<Vid>(rng.NextBounded(n));
+      paths.At(j, 0) = v;
+      Vid prev = kInvalidVid;
+      for (uint32_t step = 0; step < spec.steps; ++step) {
+        Vid nxt;
+        if (v == kInvalidVid) {
+          nxt = kInvalidVid;
+        } else if (node2vec) {
+          nxt = BaselineStepNode2Vec(graph_, v, prev, spec.node2vec, rng, hook);
+        } else {
+          nxt = BaselineStepFirstOrder(graph_, v, alias, rng, hook);
+        }
+        if (nxt != kInvalidVid && spec.stop_probability > 0 &&
+            rng.NextDouble() < spec.stop_probability) {
+          nxt = kInvalidVid;
+        }
+        paths.At(j, step + 1) = nxt;
+        hook.Store(&paths.At(j, step + 1), sizeof(Vid));
+        prev = v;
+        v = nxt;
+      }
+    }
+  });
+  result.stats.total_steps = static_cast<uint64_t>(walkers) * spec.steps;
+  result.stats.times.sample_s = walk_timer.Elapsed();
+
+  if (options_.count_visits) {
+    result.visit_counts = paths.VisitCounts(n);
+  }
+  if (spec.keep_paths) {
+    result.paths = std::move(paths);
+  }
+  return result;
+}
+
+}  // namespace fm

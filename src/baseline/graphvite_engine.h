@@ -1,0 +1,31 @@
+// GraphVite-like path-per-walker baseline (Zhu et al., WWW 2019; §2.2).
+//
+// The CPU random-walk component of the CPU-GPU hybrid embedding system: it
+// "finishes one walker's entire path before starting another", creating a dependent
+// pointer-chasing access chain across the whole graph — the most cache-hostile
+// pattern in Table 3's inventory.
+#ifndef SRC_BASELINE_GRAPHVITE_ENGINE_H_
+#define SRC_BASELINE_GRAPHVITE_ENGINE_H_
+
+#include "src/baseline/knightking_engine.h"  // BaselineOptions
+
+namespace fm {
+
+class GraphViteEngine {
+ public:
+  explicit GraphViteEngine(const CsrGraph& graph, BaselineOptions options = {});
+
+  WalkResult Run(const WalkSpec& spec);
+  WalkResult RunInstrumented(const WalkSpec& spec, CacheHierarchy* sim);
+
+ private:
+  template <typename Rng, typename Hook>
+  WalkResult RunImpl(const WalkSpec& spec, Hook& hook, bool single_thread);
+
+  const CsrGraph& graph_;
+  BaselineOptions options_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_BASELINE_GRAPHVITE_ENGINE_H_

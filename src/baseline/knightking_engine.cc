@@ -1,0 +1,130 @@
+#include "src/baseline/knightking_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baseline/common.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace fm {
+namespace {
+
+inline Vid VertexOfEdgePos(std::span<const Eid> offsets, Eid pos) {
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
+  return static_cast<Vid>((it - offsets.begin()) - 1);
+}
+
+}  // namespace
+
+KnightKingEngine::KnightKingEngine(const CsrGraph& graph, BaselineOptions options)
+    : graph_(graph), options_(options) {
+  FM_CHECK(graph.num_vertices() > 0);
+  if (options_.pool == nullptr) {
+    options_.pool = &ThreadPool::Global();
+  }
+}
+
+WalkResult KnightKingEngine::Run(const WalkSpec& spec) {
+  NullMemHook hook;
+  if (options_.use_mersenne) {
+    return RunImpl<MersenneRng>(spec, hook, false);
+  }
+  return RunImpl<XorShiftRng>(spec, hook, false);
+}
+
+WalkResult KnightKingEngine::RunInstrumented(const WalkSpec& spec,
+                                             CacheHierarchy* sim) {
+  CacheSimHook hook(sim);
+  if (options_.use_mersenne) {
+    return RunImpl<MersenneRng>(spec, hook, true);
+  }
+  return RunImpl<XorShiftRng>(spec, hook, true);
+}
+
+template <typename Rng, typename Hook>
+WalkResult KnightKingEngine::RunImpl(const WalkSpec& spec, Hook& hook,
+                                     bool single_thread) {
+  const Vid n = graph_.num_vertices();
+  const Eid m = graph_.num_edges();
+  const bool node2vec = spec.algorithm == WalkAlgorithm::kNode2Vec;
+  FM_CHECK_MSG(!spec.use_edge_weights || graph_.weighted(),
+               "use_edge_weights requires a weighted graph");
+  FM_CHECK_MSG(!(spec.use_edge_weights && node2vec),
+               "weighted node2vec is not supported");
+  std::unique_ptr<VertexAliasTables> alias_storage;
+  if (spec.use_edge_weights) {
+    alias_storage = std::make_unique<VertexAliasTables>(graph_);
+  }
+  const VertexAliasTables* alias = alias_storage.get();
+  Wid walkers = spec.num_walkers != 0 ? spec.num_walkers : n;
+
+  ThreadPool single_pool(1);
+  ThreadPool* pool = single_thread ? &single_pool : options_.pool;
+
+  WalkResult result;
+  result.stats.walker_density =
+      static_cast<double>(walkers) / std::max<double>(1.0, static_cast<double>(m));
+  result.stats.episodes = 1;
+  if (options_.count_visits) {
+    result.visit_counts.assign(n, 0);
+  }
+
+  // Walkers advance in lockstep rounds, each processed one by one within its
+  // thread's contiguous range ("all (active) walkers take turns to each sample and
+  // follow one edge", §1). Paths are rows just like FlashMob's output format.
+  PathSet paths(walkers, spec.steps);
+  pool->ParallelChunks(walkers, [&](uint64_t begin, uint64_t end, uint32_t) {
+    Rng rng(DeriveSeed(spec.seed, 0xBA5E ^ begin));
+    Vid* row = paths.Row(0).data();
+    for (Wid j = begin; j < end; ++j) {
+      row[j] = (m > 0) ? VertexOfEdgePos(graph_.offsets(), rng.NextBounded(m))
+                       : static_cast<Vid>(rng.NextBounded(n));
+    }
+  });
+
+  Timer walk_timer;
+  for (uint32_t step = 0; step < spec.steps; ++step) {
+    const Vid* cur = paths.Row(step).data();
+    const Vid* prev = step > 0 ? paths.Row(step - 1).data() : nullptr;
+    Vid* next = paths.Row(step + 1).data();
+    pool->ParallelChunks(walkers, [&](uint64_t begin, uint64_t end, uint32_t) {
+      Rng rng(DeriveSeed(spec.seed,
+                         0x55EFULL ^ (static_cast<uint64_t>(step) << 32) ^ begin));
+      for (Wid j = begin; j < end; ++j) {
+        Vid v = cur[j];
+        if (v == kInvalidVid) {
+          next[j] = kInvalidVid;
+          continue;
+        }
+        hook.Load(cur + j, sizeof(Vid));
+        Vid nxt;
+        if (node2vec) {
+          Vid pv = prev != nullptr ? prev[j] : kInvalidVid;
+          nxt = BaselineStepNode2Vec(graph_, v, pv, spec.node2vec, rng, hook);
+        } else {
+          nxt = BaselineStepFirstOrder(graph_, v, alias, rng, hook);
+        }
+        if (spec.stop_probability > 0 &&
+            rng.NextDouble() < spec.stop_probability) {
+          nxt = kInvalidVid;
+        }
+        next[j] = nxt;
+        hook.Store(next + j, sizeof(Vid));
+      }
+    });
+    result.stats.total_steps += walkers;
+  }
+  result.stats.times.sample_s = walk_timer.Elapsed();
+
+  if (options_.count_visits) {
+    result.visit_counts = paths.VisitCounts(n);
+  }
+  if (spec.keep_paths) {
+    result.paths = std::move(paths);
+  }
+  return result;
+}
+
+}  // namespace fm

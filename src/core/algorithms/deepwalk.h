@@ -1,0 +1,26 @@
+// DeepWalk workload helpers (Perozzi et al., KDD 2014).
+//
+// DeepWalk is a first-order uniform random walk; the paper's evaluation tradition
+// (§5.1) launches 10 episodes of |V| walkers, 80 steps each. These helpers build the
+// corresponding WalkSpec.
+#ifndef SRC_CORE_ALGORITHMS_DEEPWALK_H_
+#define SRC_CORE_ALGORITHMS_DEEPWALK_H_
+
+#include "src/core/walk_spec.h"
+
+namespace fm {
+
+// The common-practice configuration: `rounds`*|V| walkers of `steps` steps.
+inline WalkSpec DeepWalkSpec(Vid num_vertices, uint32_t steps = 80,
+                             uint32_t rounds = 10, uint64_t seed = 1) {
+  WalkSpec spec;
+  spec.algorithm = WalkAlgorithm::kDeepWalk;
+  spec.steps = steps;
+  spec.num_walkers = static_cast<Wid>(rounds) * num_vertices;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace fm
+
+#endif  // SRC_CORE_ALGORITHMS_DEEPWALK_H_

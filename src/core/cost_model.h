@@ -1,0 +1,73 @@
+// Sampling cost models feeding the MCKP planner (§4.4 "Offline profiling for profit
+// calculation").
+//
+// The planner asks one question: "what is the per-walker-step sampling cost of a VP
+// with V vertices, average degree d, walker density rho, under policy PS or DS?"
+// Two answers are provided:
+//
+//  - AnalyticCostModel: closed-form estimate from the Table 1 latency ladder and the
+//    Table 3 access-pattern inventory. Deterministic — used by unit tests and as the
+//    fallback when no profile exists.
+//  - CalibratedCostModel (profiler.h): the analytic skeleton scaled by measured
+//    correction factors from running the real sample kernels on synthetic
+//    uniform-degree VPs — the paper's machine-dependent, graph-independent offline
+//    profiling, reusable across graphs.
+#ifndef SRC_CORE_COST_MODEL_H_
+#define SRC_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/cachesim/latency_model.h"
+#include "src/core/partition_plan.h"
+#include "src/util/cache_info.h"
+
+namespace fm {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // ns of sample-stage work per walker-step for a VP of `vp_vertices` vertices with
+  // the given average degree, at `density` walkers per edge.
+  virtual double SampleNsPerStep(uint64_t vp_vertices, double avg_degree,
+                                 double density, SamplePolicy policy) const = 0;
+
+  // ns per walker per level of shuffle (two streaming passes; §4.3).
+  virtual double ShuffleNsPerWalker() const { return 3.0; }
+};
+
+class AnalyticCostModel : public CostModel {
+ public:
+  explicit AnalyticCostModel(const CacheInfo& cache = PaperCacheInfo(),
+                             const LatencyModel& latency = LatencyModel{},
+                             uint32_t threads_sharing_l3 = 1)
+      : cache_(cache), latency_(latency), threads_sharing_l3_(threads_sharing_l3) {}
+
+  double SampleNsPerStep(uint64_t vp_vertices, double avg_degree, double density,
+                         SamplePolicy policy) const override;
+
+  // Effective random-read latency over a working set of `bytes` (hierarchy
+  // interpolation; exposed for tests and the calibration fit).
+  double EffectiveRandomNs(uint64_t bytes) const;
+
+  // Cache level (1..4) whose per-core share fits `bytes`.
+  uint8_t LevelFor(uint64_t bytes) const;
+
+  // Working-set sizes per policy (§4.2 "Memory access patterns and partition
+  // sizing": PS keeps per-vertex cursors plus one active line per vertex; DS must
+  // fit all edges of the VP).
+  uint64_t WorkingSetBytes(uint64_t vp_vertices, double avg_degree,
+                           SamplePolicy policy) const;
+
+  const CacheInfo& cache() const { return cache_; }
+  const LatencyModel& latency() const { return latency_; }
+
+ private:
+  CacheInfo cache_;
+  LatencyModel latency_;
+  uint32_t threads_sharing_l3_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_COST_MODEL_H_

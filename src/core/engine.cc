@@ -1,0 +1,368 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/core/sample_stage.h"
+#include "src/core/shuffle.h"
+#include "src/graph/degree_sort.h"
+#include "src/util/env.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace fm {
+namespace {
+
+// Vertex owning cumulative-edge position `pos` (degree-proportional placement:
+// "initially placed by uniformly sampling among all edges", §3).
+inline Vid VertexOfEdgePos(std::span<const Eid> offsets, Eid pos) {
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
+  return static_cast<Vid>((it - offsets.begin()) - 1);
+}
+
+// Streaming-pass model for the shuffle stage under instrumentation: every cache
+// line of the array is touched exactly once per pass, which is the shuffle's actual
+// behaviour (sequential read of W; per-bin sequential write streams into SW whose
+// lines are each written once). See engine.h / DESIGN.md §3.
+void TouchStreaming(CacheHierarchy* sim, const void* data, size_t bytes) {
+  uint64_t addr = reinterpret_cast<uint64_t>(data);
+  for (uint64_t off = 0; off < bytes; off += kCacheLineBytes) {
+    sim->Access(addr + off, 1);
+  }
+}
+
+}  // namespace
+
+FlashMobEngine::FlashMobEngine(const CsrGraph& graph, EngineOptions options)
+    : graph_(graph), options_(options) {
+  FM_CHECK_MSG(graph.num_vertices() > 0, "empty graph");
+  FM_CHECK_MSG(IsDegreeSorted(graph),
+               "FlashMobEngine requires a degree-sorted graph (use DegreeSort)");
+  if (options_.pool == nullptr) {
+    options_.pool = &ThreadPool::Global();
+  }
+  if (options_.plan.threads_sharing_l3 == 0) {
+    options_.plan.threads_sharing_l3 = options_.pool->thread_count();
+  }
+  if (options_.cost_model == nullptr) {
+    default_model_ = std::make_unique<AnalyticCostModel>(
+        options_.plan.cache, LatencyModel{}, options_.plan.threads_sharing_l3);
+    options_.cost_model = default_model_.get();
+  }
+  if (options_.dram_budget_bytes == 0) {
+    options_.dram_budget_bytes =
+        static_cast<uint64_t>(EnvInt64("FM_DRAM_MB", 4096)) * 1024 * 1024;
+  }
+}
+
+FlashMobEngine::~FlashMobEngine() = default;
+
+void FlashMobEngine::SetPlan(PartitionPlan plan) {
+  FM_CHECK_MSG(plan.num_vertices() == graph_.num_vertices(),
+               "injected plan does not tile this graph");
+  plan_ = std::move(plan);
+  plan_injected_ = true;
+}
+
+const PartitionPlan& FlashMobEngine::plan() const {
+  FM_CHECK_MSG(plan_.has_value(), "no plan yet: call Run first or SetPlan");
+  return *plan_;
+}
+
+Wid FlashMobEngine::EpisodeWalkers(const WalkSpec& spec) const {
+  Wid total = spec.num_walkers != 0 ? spec.num_walkers : graph_.num_vertices();
+  // Walker-state bytes per walker: all W_i rows when keeping paths, else the
+  // rotating prev/cur/next triple; plus the SW scratch (and its aux for node2vec).
+  uint64_t per_walker =
+      spec.keep_paths ? (static_cast<uint64_t>(spec.steps) + 3) * sizeof(Vid)
+                      : 6 * sizeof(Vid);
+  if (spec.algorithm == WalkAlgorithm::kNode2Vec) {
+    per_walker += 2 * sizeof(Vid);
+  }
+  Wid cap = std::max<Wid>(options_.dram_budget_bytes / per_walker, 1024);
+  return std::min(total, cap);
+}
+
+void FlashMobEngine::EnsurePlan(const WalkSpec& spec, Wid episode_walkers) {
+  if (plan_injected_ || plan_.has_value()) {
+    return;
+  }
+  plan_ = PartitionPlan::BuildOptimized(graph_, episode_walkers,
+                                        *options_.cost_model, options_.plan);
+  (void)spec;
+}
+
+WalkResult FlashMobEngine::Run(const WalkSpec& spec) {
+  NullMemHook hook;
+  return RunImpl(spec, hook, /*single_thread=*/false);
+}
+
+WalkResult FlashMobEngine::RunInstrumented(const WalkSpec& spec,
+                                           CacheHierarchy* sim) {
+  CacheSimHook hook(sim);
+  return RunImpl(spec, hook, /*single_thread=*/true);
+}
+
+template <typename Hook>
+WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
+                                   bool single_thread) {
+  const Vid n = graph_.num_vertices();
+  const Eid m = graph_.num_edges();
+  const bool node2vec = spec.algorithm == WalkAlgorithm::kNode2Vec;
+  FM_CHECK_MSG(spec.track_identity || !spec.keep_paths,
+               "keep_paths requires track_identity (paths are per-walker)");
+  FM_CHECK_MSG(!spec.use_edge_weights || graph_.weighted(),
+               "use_edge_weights requires a weighted graph");
+  FM_CHECK_MSG(!(spec.use_edge_weights &&
+                 spec.algorithm != WalkAlgorithm::kDeepWalk),
+               "edge weights are only supported for first-order uniform walks");
+  if (spec.use_edge_weights && alias_tables_ == nullptr) {
+    alias_tables_ = std::make_unique<VertexAliasTables>(graph_);
+  }
+  const VertexAliasTables* alias =
+      spec.use_edge_weights ? alias_tables_.get() : nullptr;
+  // Identity-free extension: drop the reverse shuffle; SW becomes the next W.
+  const bool identity_free = !spec.track_identity;
+
+  ThreadPool single_pool(1);
+  ThreadPool* pool = single_thread ? &single_pool : options_.pool;
+
+  Wid total_walkers = spec.num_walkers != 0 ? spec.num_walkers : n;
+  Wid episode_cap = EpisodeWalkers(spec);
+
+  WalkResult result;
+  if (options_.count_visits) {
+    result.visit_counts.assign(n, 0);
+  }
+
+  // Plan construction is pre-processing (excluded from walk-time accounting, as the
+  // paper excludes its 0.04%-0.7% pre-processing overhead from per-step times).
+  EnsurePlan(spec, std::min(total_walkers, episode_cap));
+
+  Timer other_timer;
+  Shuffler shuffler(&*plan_, pool);
+  PresampleBuffers presample(graph_, *plan_);
+  const uint32_t num_vps = plan_->num_vps();
+  result.stats.vp_walker_steps.assign(num_vps, 0);
+  result.stats.walker_density =
+      static_cast<double>(std::min(total_walkers, episode_cap)) /
+      std::max<double>(1.0, static_cast<double>(m));
+  result.stats.times.other_s += other_timer.Elapsed();
+
+  Wid remaining = total_walkers;
+  uint64_t episode = 0;
+  while (remaining > 0) {
+    Wid w = std::min(remaining, episode_cap);
+    remaining -= w;
+
+    other_timer.Start();
+    // Episode walker storage. With keep_paths the PathSet rows are the W_i arrays;
+    // otherwise three rotating rows.
+    PathSet paths(spec.keep_paths ? w : 0, spec.keep_paths ? spec.steps : 0);
+    std::vector<Vid> rot_a, rot_b, rot_c;
+    if (!spec.keep_paths) {
+      rot_a.resize(w);
+      rot_b.resize(w);
+      if (node2vec) {
+        if (identity_free) {
+          // rot_b carries predecessors alongside rot_a; first step has none.
+          std::fill(rot_b.begin(), rot_b.end(), kInvalidVid);
+        } else {
+          rot_c.resize(w);
+        }
+      }
+    }
+    std::vector<Vid> sw(w);
+    std::vector<Vid> sw_prev(node2vec ? w : 0);
+
+    Vid* w_cur = spec.keep_paths ? paths.Row(0).data() : rot_a.data();
+    if (!spec.start_vertices.empty()) {
+      // Seeded placement: walker j (global index, consistent across episodes)
+      // starts at start_vertices[j % size()].
+      const Wid base = total_walkers - (remaining + w);
+      const auto& starts = spec.start_vertices;
+      for (Vid v : starts) {
+        FM_CHECK_MSG(v < n, "start vertex out of range");
+      }
+      pool->ParallelChunks(w, [&](uint64_t begin, uint64_t end, uint32_t) {
+        for (Wid j = begin; j < end; ++j) {
+          w_cur[j] = starts[(base + j) % starts.size()];
+        }
+      });
+    } else {
+    // Degree-proportional initial placement ("uniformly sampling among all edges",
+    // §3). Walker j draws a jittered edge position within its own 1/w slice of the
+    // edge array; positions are monotone in j, so one sequential sweep of the CSR
+    // offsets resolves every owner — O(1) per walker, no binary searches. The
+    // aggregate marginal distribution over edges is exactly uniform.
+    pool->ParallelChunks(w, [&](uint64_t begin, uint64_t end, uint32_t) {
+      XorShiftRng rng(DeriveSeed(spec.seed, 0x1A17ULL ^ (episode << 20) ^ begin));
+      if (m == 0) {
+        for (Wid j = begin; j < end; ++j) {
+          w_cur[j] = static_cast<Vid>(rng.NextBounded(n));
+        }
+        return;
+      }
+      double edges_per_walker = static_cast<double>(m) / static_cast<double>(w);
+      Eid pos0 = static_cast<Eid>(static_cast<double>(begin) * edges_per_walker);
+      Vid v = VertexOfEdgePos(graph_.offsets(), std::min<Eid>(pos0, m - 1));
+      const Eid* offsets = graph_.offsets().data();
+      for (Wid j = begin; j < end; ++j) {
+        Eid pos = static_cast<Eid>(
+            (static_cast<double>(j) + rng.NextDouble()) * edges_per_walker);
+        pos = std::min<Eid>(pos, m - 1);
+        while (offsets[v + 1] <= pos) {
+          ++v;
+        }
+        w_cur[j] = v;
+      }
+    });
+    }
+    if constexpr (Hook::kEnabled) {
+      TouchStreaming(hook.sim(), w_cur, w * sizeof(Vid));
+    }
+    if (options_.count_visits && !spec.keep_paths) {
+      for (Wid j = 0; j < w; ++j) {
+        ++result.visit_counts[w_cur[j]];
+      }
+    }
+    // Note: pre-sample buffers deliberately persist across episodes — leftover
+    // samples are still i.i.d. draws, and discarding them would waste the refill
+    // work (they start empty via the constructor).
+    result.stats.times.other_s += other_timer.Elapsed();
+
+    Vid* w_prev = nullptr;  // W_{i-1} (node2vec predecessor source)
+    // Rotation targets when rows are not kept: `free_buf` receives the next gather;
+    // after the step the oldest row becomes free.
+    Vid* free_buf = spec.keep_paths ? nullptr : rot_b.data();
+    Vid* free_buf2 = (!spec.keep_paths && node2vec) ? rot_c.data() : nullptr;
+    for (uint32_t step = 0; step < spec.steps; ++step) {
+      // ---- shuffle: W_i -> SW --------------------------------------------------
+      Timer shuffle_timer;
+      const Vid* aux =
+          node2vec ? (identity_free ? rot_b.data() : w_prev) : nullptr;
+      shuffler.Scatter(w_cur, aux, w, sw.data(),
+                       aux != nullptr ? sw_prev.data() : nullptr);
+      if (node2vec && aux == nullptr) {
+        // First step of an identity-tracked node2vec episode: no predecessors yet;
+        // the kernel treats kInvalidVid as "take a uniform first-order step".
+        std::fill(sw_prev.begin(), sw_prev.end(), kInvalidVid);
+      }
+      if constexpr (Hook::kEnabled) {
+        // Two passes over W (count + scatter), one over SW; aux doubles both.
+        CacheHierarchy* sim = hook.sim();
+        TouchStreaming(sim, w_cur, w * sizeof(Vid));
+        TouchStreaming(sim, w_cur, w * sizeof(Vid));
+        TouchStreaming(sim, sw.data(), w * sizeof(Vid));
+      }
+      result.stats.times.shuffle_s += shuffle_timer.Elapsed();
+
+      // ---- sample: one task per VP --------------------------------------------
+      Timer sample_timer;
+      const auto& vp_offsets = shuffler.vp_offsets();
+      pool->ParallelFor(num_vps, [&](uint64_t vp_i, uint32_t) {
+        Wid begin = vp_offsets[vp_i];
+        Wid end = vp_offsets[vp_i + 1];
+        if (begin == end) {
+          return;
+        }
+        XorShiftRng rng(DeriveSeed(
+            spec.seed, 0x5A3FULL ^ (episode << 44) ^
+                           (static_cast<uint64_t>(step) << 24) ^ vp_i));
+        const VertexPartition& vp = plan_->vp(static_cast<uint32_t>(vp_i));
+        if (node2vec) {
+          SampleVpNode2Vec(graph_, vp, spec.node2vec, sw.data() + begin,
+                           sw_prev.data() + begin, end - begin,
+                           spec.stop_probability, identity_free, rng, hook);
+        } else if (spec.algorithm == WalkAlgorithm::kMetropolisHastings) {
+          SampleVpMetropolis(graph_, sw.data() + begin, end - begin,
+                             spec.stop_probability, rng, hook);
+        } else {
+          SampleVpFirstOrder(graph_, static_cast<uint32_t>(vp_i), vp, &presample,
+                             sw.data() + begin, end - begin,
+                             spec.stop_probability, alias, rng, hook);
+        }
+        result.stats.vp_walker_steps[vp_i] += end - begin;
+      });
+      result.stats.total_steps += vp_offsets[num_vps] - vp_offsets[0];
+      result.stats.times.sample_s += sample_timer.Elapsed();
+
+      if (identity_free) {
+        // Extension: no reverse shuffle. The sampled SW (and, for node2vec, the
+        // kernel-updated predecessor stream) simply becomes the next walker array;
+        // identity is lost but every aggregate statistic is preserved.
+        other_timer.Start();
+        if (options_.count_visits) {
+          for (Vid v : sw) {
+            if (v != kInvalidVid) {
+              ++result.visit_counts[v];
+            }
+          }
+        }
+        std::swap(rot_a, sw);
+        w_cur = rot_a.data();
+        if (node2vec) {
+          std::swap(rot_b, sw_prev);
+        }
+        result.stats.times.other_s += other_timer.Elapsed();
+        continue;
+      }
+
+      // ---- reverse shuffle: SW -> W_{i+1} --------------------------------------
+      shuffle_timer.Start();
+      Vid* w_next = spec.keep_paths ? paths.Row(step + 1).data() : free_buf;
+      shuffler.Gather(w_cur, w, sw.data(), w_next, nullptr, nullptr);
+      if constexpr (Hook::kEnabled) {
+        CacheHierarchy* sim = hook.sim();
+        TouchStreaming(sim, w_cur, w * sizeof(Vid));
+        TouchStreaming(sim, sw.data(), w * sizeof(Vid));
+        TouchStreaming(sim, w_next, w * sizeof(Vid));
+      }
+      result.stats.times.shuffle_s += shuffle_timer.Elapsed();
+
+      other_timer.Start();
+      if (options_.count_visits && !spec.keep_paths) {
+        for (Wid j = 0; j < w; ++j) {
+          if (w_next[j] != kInvalidVid) {
+            ++result.visit_counts[w_next[j]];
+          }
+        }
+      }
+      // Rotate rows: prev <- cur <- next; the oldest buffer becomes free.
+      if (spec.keep_paths) {
+        w_prev = w_cur;
+        w_cur = w_next;
+      } else if (node2vec) {
+        Vid* old_prev = w_prev;
+        w_prev = w_cur;
+        w_cur = w_next;
+        free_buf = (old_prev != nullptr) ? old_prev : free_buf2;
+      } else {
+        free_buf = w_cur;
+        w_cur = w_next;
+      }
+      result.stats.times.other_s += other_timer.Elapsed();
+    }
+
+    other_timer.Start();
+    if (spec.keep_paths) {
+      if (options_.count_visits) {
+        for (uint32_t s = 0; s <= spec.steps; ++s) {
+          for (Vid v : paths.Row(s)) {
+            if (v != kInvalidVid) {
+              ++result.visit_counts[v];
+            }
+          }
+        }
+      }
+      result.paths.Append(std::move(paths));
+    }
+    ++result.stats.episodes;
+    result.stats.times.other_s += other_timer.Elapsed();
+    ++episode;
+  }
+  return result;
+}
+
+}  // namespace fm

@@ -1,0 +1,111 @@
+// FlashMobEngine — the paper's primary contribution assembled (§3, §4).
+//
+// Per walk iteration:
+//   shuffle  : Scatter W_i (walker order) into SW (partition order)        [§4.3]
+//   sample   : one task per VP moves its walkers one step, in place        [§4.2]
+//   reverse  : Gather replays the scatter to produce W_{i+1} (walker order)[§4.3]
+//
+// The W_i rows double as the full path history; walkers are split into episodes
+// sized to the DRAM budget (§5.1). The partition plan comes from the MCKP DP (§4.4)
+// unless overridden (the Fig 9 ablations inject uniform/manual plans).
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cachesim/hierarchy.h"
+#include "src/core/cost_model.h"
+#include "src/core/partition_plan.h"
+#include "src/core/path_set.h"
+#include "src/core/walk_spec.h"
+#include "src/graph/csr_graph.h"
+#include "src/sampling/vertex_alias.h"
+#include "src/util/thread_pool.h"
+
+namespace fm {
+
+struct StageTimes {
+  double sample_s = 0;
+  double shuffle_s = 0;
+  double other_s = 0;
+  double Total() const { return sample_s + shuffle_s + other_s; }
+};
+
+struct WalkStats {
+  uint64_t total_steps = 0;  // walker-steps executed
+  StageTimes times;
+  uint32_t episodes = 0;
+  double walker_density = 0;  // walkers per edge within an episode
+
+  // Walker-steps served by each VP (Fig 10b's weighting), indexed by plan VP.
+  std::vector<uint64_t> vp_walker_steps;
+
+  double PerStepNs() const {
+    return total_steps == 0 ? 0 : times.Total() * 1e9 / static_cast<double>(total_steps);
+  }
+};
+
+struct WalkResult {
+  PathSet paths;                        // empty unless spec.keep_paths
+  std::vector<uint64_t> visit_counts;   // per vertex (including start positions)
+  WalkStats stats;
+};
+
+struct EngineOptions {
+  PartitionPlan::Config plan;
+  // Cost model for the planner; nullptr = AnalyticCostModel over plan.cache.
+  const CostModel* cost_model = nullptr;
+  // Budget for walker state; bounds walkers per episode. 0 = FM_DRAM_MB env
+  // (default 4096 MB).
+  uint64_t dram_budget_bytes = 0;
+  ThreadPool* pool = nullptr;  // nullptr = ThreadPool::Global()
+  // Accumulate per-vertex visit counts (adds one streaming pass per step when paths
+  // are not kept; benches measuring pure walk speed turn it off).
+  bool count_visits = true;
+};
+
+class FlashMobEngine {
+ public:
+  // `graph` must outlive the engine and be degree-sorted descending (see
+  // DegreeSort()); aborts otherwise.
+  explicit FlashMobEngine(const CsrGraph& graph, EngineOptions options = {});
+  ~FlashMobEngine();
+
+  // Replaces the auto-built plan (ablations). Must tile the engine's graph.
+  void SetPlan(PartitionPlan plan);
+
+  // The plan used by the last Run (or the injected one).
+  const PartitionPlan& plan() const;
+
+  WalkResult Run(const WalkSpec& spec);
+
+  // Single-threaded run feeding every sample-stage access (and a streaming model of
+  // the shuffle passes) through `sim` (Table 5 / Fig 1b). Workloads should be small;
+  // simulation is ~100x slower than the real walk.
+  WalkResult RunInstrumented(const WalkSpec& spec, CacheHierarchy* sim);
+
+  // Walkers per episode for a given spec (exposed for the NUMA modes / tests).
+  Wid EpisodeWalkers(const WalkSpec& spec) const;
+
+  const CsrGraph& graph() const { return graph_; }
+
+ private:
+  template <typename Hook>
+  WalkResult RunImpl(const WalkSpec& spec, Hook& hook, bool single_thread);
+
+  void EnsurePlan(const WalkSpec& spec, Wid episode_walkers);
+
+  const CsrGraph& graph_;
+  EngineOptions options_;
+  std::unique_ptr<CostModel> default_model_;
+  std::optional<PartitionPlan> plan_;
+  bool plan_injected_ = false;
+  // Built on first weighted Run; reused after (the classical alias pre-processing).
+  std::unique_ptr<VertexAliasTables> alias_tables_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,126 @@
+#include "src/core/mckp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace fm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MckpSolution SolveMckp(const std::vector<std::vector<MckpItem>>& classes,
+                       uint32_t weight_limit) {
+  MckpSolution solution;
+  size_t num_classes = classes.size();
+  if (num_classes == 0) {
+    solution.feasible = true;
+    return solution;
+  }
+  for (const auto& cls : classes) {
+    FM_CHECK_MSG(!cls.empty(), "MCKP class must be non-empty");
+  }
+
+  // dp[c][w] = min cost choosing one item from each of classes 0..c with total weight
+  // exactly <= w handled by taking min over w at the end; we use "total weight == w"
+  // semantics to allow exact choice reconstruction, with an extra scan for <=.
+  // Layout: (num_classes + 1) rows of (weight_limit + 1), row 0 = empty prefix.
+  size_t width = static_cast<size_t>(weight_limit) + 1;
+  std::vector<double> prev(width, kInf);
+  std::vector<double> cur(width, kInf);
+  // choice[c * width + w] = item picked for class c when prefix weight is exactly w.
+  std::vector<uint32_t> choice(num_classes * width, ~uint32_t{0});
+  prev[0] = 0;
+
+  for (size_t c = 0; c < num_classes; ++c) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    for (uint32_t w = 0; w <= weight_limit; ++w) {
+      if (prev[w] == kInf) {
+        continue;
+      }
+      for (uint32_t i = 0; i < classes[c].size(); ++i) {
+        const MckpItem& item = classes[c][i];
+        uint64_t nw = static_cast<uint64_t>(w) + item.weight;
+        if (nw > weight_limit) {
+          continue;
+        }
+        double cost = prev[w] + item.cost;
+        if (cost < cur[nw]) {
+          cur[nw] = cost;
+          choice[c * width + nw] = i;
+        }
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  // Best final weight.
+  uint32_t best_w = 0;
+  double best_cost = kInf;
+  for (uint32_t w = 0; w <= weight_limit; ++w) {
+    if (prev[w] < best_cost) {
+      best_cost = prev[w];
+      best_w = w;
+    }
+  }
+  if (best_cost == kInf) {
+    return solution;  // infeasible
+  }
+
+  solution.feasible = true;
+  solution.total_cost = best_cost;
+  solution.total_weight = best_w;
+  solution.chosen.resize(num_classes);
+  // Walk the choice table backwards. The stored choice at (c, w) is valid for *some*
+  // optimal path; to reconstruct reliably we recompute predecessor weights.
+  uint32_t w = best_w;
+  for (size_t c = num_classes; c-- > 0;) {
+    uint32_t item = choice[c * width + w];
+    FM_CHECK_MSG(item != ~uint32_t{0}, "MCKP reconstruction failed");
+    solution.chosen[c] = item;
+    w -= classes[c][item].weight;
+  }
+  return solution;
+}
+
+namespace {
+
+void BruteForceRecurse(const std::vector<std::vector<MckpItem>>& classes, size_t c,
+                       double cost, uint32_t weight, uint32_t weight_limit,
+                       std::vector<uint32_t>& picks, MckpSolution& best) {
+  if (weight > weight_limit) {
+    return;
+  }
+  if (c == classes.size()) {
+    if (!best.feasible || cost < best.total_cost) {
+      best.feasible = true;
+      best.total_cost = cost;
+      best.total_weight = weight;
+      best.chosen = picks;
+    }
+    return;
+  }
+  for (uint32_t i = 0; i < classes[c].size(); ++i) {
+    picks[c] = i;
+    BruteForceRecurse(classes, c + 1, cost + classes[c][i].cost,
+                      weight + classes[c][i].weight, weight_limit, picks, best);
+  }
+}
+
+}  // namespace
+
+MckpSolution SolveMckpBruteForce(const std::vector<std::vector<MckpItem>>& classes,
+                                 uint32_t weight_limit) {
+  MckpSolution best;
+  std::vector<uint32_t> picks(classes.size());
+  BruteForceRecurse(classes, 0, 0, 0, weight_limit, picks, best);
+  if (classes.empty()) {
+    best.feasible = true;
+  }
+  return best;
+}
+
+}  // namespace fm

@@ -1,0 +1,45 @@
+// Multiple-Choice Knapsack Problem solver (§4.4).
+//
+// FlashMob maps vertex partitioning to MCKP: one class per vertex group, one item
+// per candidate (VP size, policy) combination, item weight = number of partitions the
+// choice creates, weight limit P = shuffle fan-out that keeps the outer shuffle's
+// bins in L2. MCKP is NP-complete but admits a pseudo-polynomial dynamic program of
+// time O(C·P·I) and space O(C·P) (Dudzinski & Walukiewicz 1987; Kellerer et al.
+// 2004), which is what this module implements — with C, P, I << |V| the solve is
+// sub-millisecond (the paper reports 0.01s on its largest graph).
+//
+// This solver *minimizes* total cost (the paper maximizes profit = negative cost;
+// the formulations are equivalent).
+#ifndef SRC_CORE_MCKP_H_
+#define SRC_CORE_MCKP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fm {
+
+struct MckpItem {
+  double cost = 0;      // to minimize
+  uint32_t weight = 0;  // resource consumption; total must stay <= limit
+};
+
+struct MckpSolution {
+  bool feasible = false;
+  double total_cost = 0;
+  uint32_t total_weight = 0;
+  // chosen[c] = index of the item selected from class c.
+  std::vector<uint32_t> chosen;
+};
+
+// Picks exactly one item per class minimizing total cost subject to
+// sum(weight) <= weight_limit. Classes must be non-empty. Exact DP.
+MckpSolution SolveMckp(const std::vector<std::vector<MckpItem>>& classes,
+                       uint32_t weight_limit);
+
+// Exponential-time exhaustive solver for cross-validation in tests.
+MckpSolution SolveMckpBruteForce(const std::vector<std::vector<MckpItem>>& classes,
+                                 uint32_t weight_limit);
+
+}  // namespace fm
+
+#endif  // SRC_CORE_MCKP_H_

@@ -1,0 +1,62 @@
+#include "src/core/numa.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fm {
+
+NumaRunResult RunNumaWalk(const CsrGraph& graph, const WalkSpec& spec,
+                          NumaMode mode, const SocketTopology& topology,
+                          const EngineOptions& base_options) {
+  FM_CHECK(topology.sockets >= 1);
+  uint64_t total_dram =
+      static_cast<uint64_t>(topology.sockets) * topology.dram_per_socket_bytes;
+  uint64_t csr = graph.CsrBytes();
+
+  NumaRunResult result;
+  EngineOptions options = base_options;
+  WalkSpec run_spec = spec;
+  Wid total_walkers =
+      spec.num_walkers != 0 ? spec.num_walkers : graph.num_vertices();
+
+  if (mode == NumaMode::kPartitioned) {
+    // One graph copy; everything else is walker budget spread over all sockets.
+    FM_CHECK_MSG(total_dram > csr, "graph exceeds the topology's total DRAM");
+    options.dram_budget_bytes = total_dram - csr;
+    result.remote_stream_fraction =
+        topology.sockets > 1
+            ? static_cast<double>(topology.sockets - 1) / topology.sockets
+            : 0.0;
+    FlashMobEngine engine(graph, options);
+    result.walkers_per_episode = engine.EpisodeWalkers(run_spec);
+    WalkResult run = engine.Run(run_spec);
+    result.per_step_ns = run.stats.PerStepNs();
+    result.walker_density = run.stats.walker_density;
+    result.stats = std::move(run.stats);
+    return result;
+  }
+
+  // Replicated: each socket holds its own graph (and pre-sample buffers, which the
+  // engine sizes like the CSR edge array for PS partitions — approximate with one
+  // extra edge-array copy) and runs an independent instance over a 1/sockets share
+  // of the walkers.
+  uint64_t per_socket_graph = csr + graph.num_edges() * sizeof(Vid) / 2;
+  FM_CHECK_MSG(topology.dram_per_socket_bytes > per_socket_graph,
+               "graph replica exceeds per-socket DRAM");
+  options.dram_budget_bytes = topology.dram_per_socket_bytes - per_socket_graph;
+  run_spec.num_walkers = std::max<Wid>(total_walkers / topology.sockets, 1);
+
+  FlashMobEngine engine(graph, options);
+  result.walkers_per_episode = engine.EpisodeWalkers(run_spec);
+  WalkResult run = engine.Run(run_spec);
+  // All sockets run concurrently and independently; per-step time is the instance's
+  // own, total throughput scales by `sockets`.
+  result.per_step_ns = run.stats.PerStepNs();
+  result.walker_density = run.stats.walker_density;
+  result.remote_stream_fraction = 0.0;
+  result.stats = std::move(run.stats);
+  return result;
+}
+
+}  // namespace fm

@@ -1,0 +1,49 @@
+// Cross-socket walk modes (§4.5, Figure 12).
+//
+// FlashMob-P ("P"artitioned): one copy of the graph; VPs and walker arrays are
+// distributed across sockets. Remote traffic is confined to streaming reads of
+// walker chunks during the sample stage (never random) — §4.5.
+//
+// FlashMob-R ("R"eplicated): the graph (plus pre-sample buffers) is replicated per
+// socket and independent walk instances run side by side; no remote accesses at all,
+// but the replicas eat into the DRAM budget, halving the walker density and with it
+// the cache reuse rate.
+//
+// The reproduction box has one socket, so this module *emulates* the two layouts: it
+// computes each mode's walker budget from a SocketTopology, runs the engine at the
+// resulting density, and reports the structural remote-access metrics exactly
+// (which walker-stream fraction would cross sockets under mode P). See DESIGN.md §3.
+#ifndef SRC_CORE_NUMA_H_
+#define SRC_CORE_NUMA_H_
+
+#include "src/core/engine.h"
+
+namespace fm {
+
+enum class NumaMode { kPartitioned, kReplicated };
+
+struct SocketTopology {
+  uint32_t sockets = 2;
+  uint64_t dram_per_socket_bytes = 2ull << 30;
+};
+
+struct NumaRunResult {
+  double per_step_ns = 0;
+  double walker_density = 0;       // walkers per edge per episode (Fig 12b)
+  Wid walkers_per_episode = 0;
+  // Mode P: expected fraction of sample-stage walker-stream bytes that are remote
+  // ((sockets-1)/sockets: walkers are distributed round-robin across sockets while a
+  // VP is processed by one of them). Zero for mode R.
+  double remote_stream_fraction = 0;
+  WalkStats stats;
+};
+
+// Runs `spec` on `graph` under the given mode/topology and reports Fig 12's metrics.
+// The graph must be degree-sorted.
+NumaRunResult RunNumaWalk(const CsrGraph& graph, const WalkSpec& spec,
+                          NumaMode mode, const SocketTopology& topology,
+                          const EngineOptions& base_options = {});
+
+}  // namespace fm
+
+#endif  // SRC_CORE_NUMA_H_

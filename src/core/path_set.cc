@@ -1,0 +1,94 @@
+#include "src/core/path_set.h"
+
+#include "src/graph/csr_graph.h"
+#include "src/util/logging.h"
+
+namespace fm {
+
+PathSet::PathSet(Wid num_walkers, uint32_t steps)
+    : num_walkers_(num_walkers), steps_(steps) {
+  rows_.resize(steps + 1);
+  for (auto& row : rows_) {
+    row.resize(num_walkers);
+  }
+}
+
+std::vector<Vid> PathSet::Path(Wid w) const {
+  std::vector<Vid> path;
+  path.reserve(steps_ + 1);
+  for (uint32_t s = 0; s <= steps_; ++s) {
+    Vid v = rows_[s][w];
+    if (v == kInvalidVid) {
+      break;
+    }
+    path.push_back(v);
+  }
+  return path;
+}
+
+std::vector<uint64_t> PathSet::VisitCounts(Vid num_vertices) const {
+  std::vector<uint64_t> counts(num_vertices, 0);
+  for (const auto& row : rows_) {
+    for (Vid v : row) {
+      if (v != kInvalidVid) {
+        ++counts[v];
+      }
+    }
+  }
+  return counts;
+}
+
+void PathSet::StreamEdges(const std::function<void(Vid, Vid)>& fn) const {
+  for (Wid w = 0; w < num_walkers_; ++w) {
+    for (uint32_t s = 0; s < steps_; ++s) {
+      Vid from = rows_[s][w];
+      Vid to = rows_[s + 1][w];
+      if (from == kInvalidVid || to == kInvalidVid) {
+        break;
+      }
+      fn(from, to);
+    }
+  }
+}
+
+bool PathSet::ValidAgainst(const CsrGraph& graph) const {
+  for (Wid w = 0; w < num_walkers_; ++w) {
+    for (uint32_t s = 0; s < steps_; ++s) {
+      Vid from = rows_[s][w];
+      Vid to = rows_[s + 1][w];
+      if (from == kInvalidVid) {
+        break;
+      }
+      if (to == kInvalidVid) {
+        continue;  // terminated this step
+      }
+      if (from >= graph.num_vertices() || to >= graph.num_vertices()) {
+        return false;
+      }
+      if (graph.degree(from) == 0) {
+        if (to != from) {
+          return false;  // dead ends stay in place
+        }
+        continue;
+      }
+      if (!graph.HasEdge(from, to)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void PathSet::Append(PathSet&& other) {
+  if (num_walkers_ == 0) {
+    *this = std::move(other);
+    return;
+  }
+  FM_CHECK_MSG(other.steps_ == steps_, "episode step counts differ");
+  for (uint32_t s = 0; s <= steps_; ++s) {
+    rows_[s].insert(rows_[s].end(), other.rows_[s].begin(), other.rows_[s].end());
+  }
+  num_walkers_ += other.num_walkers_;
+}
+
+}  // namespace fm

@@ -1,0 +1,61 @@
+// Walk output container.
+//
+// The engine's per-iteration W_i arrays *are* the path history (§4.3): W_i[j] is
+// walker j's location after step i. PathSet owns those arrays; transposing yields
+// per-walker paths, and StreamEdges replays the sampled edges <W_i[j], W_i+1[j]> —
+// the paper's two output modes.
+#ifndef SRC_CORE_PATH_SET_H_
+#define SRC_CORE_PATH_SET_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace fm {
+
+class CsrGraph;
+
+class PathSet {
+ public:
+  PathSet() = default;
+  PathSet(Wid num_walkers, uint32_t steps);
+
+  Wid num_walkers() const { return num_walkers_; }
+  uint32_t steps() const { return steps_; }
+
+  // Location of walker w after `step` steps (step 0 = start).
+  Vid At(Wid w, uint32_t step) const { return rows_[step][w]; }
+  Vid& At(Wid w, uint32_t step) { return rows_[step][w]; }
+
+  // The full W_i row (walker-order array after step i).
+  std::vector<Vid>& Row(uint32_t step) { return rows_[step]; }
+  const std::vector<Vid>& Row(uint32_t step) const { return rows_[step]; }
+
+  // Per-walker path (the transpose of the rows). Terminated walkers' paths stop at
+  // the last live position.
+  std::vector<Vid> Path(Wid w) const;
+
+  // Visits per vertex across all stored positions (start counts as a visit).
+  std::vector<uint64_t> VisitCounts(Vid num_vertices) const;
+
+  // Calls fn(from, to) for every sampled edge, in walker-major order, skipping
+  // terminated positions. This is the "stream the sampled edges to the GPU" mode.
+  void StreamEdges(const std::function<void(Vid, Vid)>& fn) const;
+
+  // True when every consecutive position pair is an edge of `graph` (dead-end
+  // stay-in-place steps allowed when the vertex has no out-edges).
+  bool ValidAgainst(const CsrGraph& graph) const;
+
+  // Appends another PathSet with the same step count (episodes, §5.1).
+  void Append(PathSet&& other);
+
+ private:
+  Wid num_walkers_ = 0;
+  uint32_t steps_ = 0;
+  std::vector<std::vector<Vid>> rows_;  // steps_ + 1 rows, each num_walkers_ long
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_PATH_SET_H_

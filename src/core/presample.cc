@@ -1,0 +1,38 @@
+#include "src/core/presample.h"
+
+#include "src/util/logging.h"
+
+namespace fm {
+
+PresampleBuffers::PresampleBuffers(const CsrGraph& graph,
+                                   const PartitionPlan& plan) {
+  uint64_t total = 0;
+  vp_sample_base_.assign(plan.num_vps(), 0);
+  for (uint32_t i = 0; i < plan.num_vps(); ++i) {
+    const VertexPartition& vp = plan.vp(i);
+    if (vp.policy != SamplePolicy::kPS) {
+      continue;
+    }
+    vp_sample_base_[i] = total;
+    total += graph.edge_end(vp.end - 1) - vp.edge_begin;
+  }
+  if (total == 0) {
+    return;
+  }
+  samples_.Allocate(total);
+  cursor_.resize(graph.num_vertices());
+  ResetAll();
+  // cursor_[v] must start at degree(v) ("empty") for PS vertices; ResetAll handles
+  // all vertices uniformly which is harmless for DS vertices (never consulted).
+}
+
+void PresampleBuffers::ResetAll() {
+  // Mark every buffer exhausted so the next Next() refills it. Degree lookups are
+  // avoided by using the saturating sentinel: the maximum Degree value is >= any
+  // real degree.
+  for (auto& c : cursor_) {
+    c = ~Degree{0};
+  }
+}
+
+}  // namespace fm

@@ -1,0 +1,94 @@
+// Pre-sampled edge buffers (§4.2 "Pre-sampling (PS)").
+//
+// For partitions under the PS policy, every vertex v owns a buffer of d(v) edge
+// samples. The thread processing the VP refills a vertex's buffer in one batched pass
+// (random reads confined to v's adjacency list — cache resident — plus one sequential
+// write stream) and co-located walkers then consume samples sequentially, so each
+// fetched cache line of samples serves up to 16 walkers instead of one.
+//
+// Buffers for the PS partitions are packed into a single array laid out exactly like
+// the CSR edge array ("this buffer occupies exactly the same space as v's adjacency
+// list"), indexed by the same CSR offsets shifted by the partition's base.
+#ifndef SRC_CORE_PRESAMPLE_H_
+#define SRC_CORE_PRESAMPLE_H_
+
+#include <vector>
+
+#include "src/core/partition_plan.h"
+#include "src/graph/csr_graph.h"
+#include "src/sampling/vertex_alias.h"
+#include "src/util/aligned_buffer.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+class PresampleBuffers {
+ public:
+  // Allocates buffers for every PS partition in `plan`. Buffers start empty (first
+  // use triggers a refill).
+  PresampleBuffers(const CsrGraph& graph, const PartitionPlan& plan);
+
+  bool enabled() const { return !samples_.empty(); }
+  uint64_t total_samples() const { return samples_.size(); }
+
+  // Returns the next pre-sampled out-edge of `v`, which must belong to the PS
+  // partition with plan index `vp_index`. Refills when exhausted. Hook-instrumented.
+  // `alias` != nullptr draws weighted samples (weights baked in at refill time —
+  // consumers stay oblivious, which is the beauty of pre-sampling: any static
+  // transition distribution costs the same at consumption).
+  template <typename Rng, typename Hook>
+  Vid Next(const CsrGraph& graph, uint32_t vp_index, const VertexPartition& vp,
+           Vid v, const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+    hook.Load(graph.offsets().data() + v, 2 * sizeof(Eid));
+    Eid base = vp_sample_base_[vp_index] + (graph.edge_begin(v) - vp.edge_begin);
+    Degree deg = static_cast<Degree>(graph.edge_end(v) - graph.edge_begin(v));
+    if (deg == 0) {
+      return v;  // dead end: walker stays in place
+    }
+    hook.Load(&cursor_[v], sizeof(Degree));
+    Degree cur = cursor_[v];
+    if (cur >= deg) {
+      Refill(graph, v, base, deg, alias, rng, hook);
+      cur = 0;
+    }
+    hook.Load(&samples_[base + cur], sizeof(Vid));
+    Vid next = samples_[base + cur];
+    cursor_[v] = cur + 1;
+    hook.Store(&cursor_[v], sizeof(Degree));
+    return next;
+  }
+
+  // Resets every buffer to empty (used between episodes so the sample streams stay
+  // independent).
+  void ResetAll();
+
+ private:
+  template <typename Rng, typename Hook>
+  void Refill(const CsrGraph& graph, Vid v, Eid base, Degree deg,
+              const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+    // Production step: d(v) dice throws against v's adjacency list (random reads in
+    // one cache-resident list) streamed into the buffer (§4.2). Weighted graphs
+    // draw through the per-vertex alias table instead of uniformly.
+    const Vid* adj = graph.edges().data() + graph.edge_begin(v);
+    for (Degree i = 0; i < deg; ++i) {
+      Degree pick = alias != nullptr
+                        ? alias->SampleIndex(graph, v, rng, hook)
+                        : static_cast<Degree>(rng.NextBounded(deg));
+      hook.Load(adj + pick, sizeof(Vid));
+      samples_[base + i] = adj[pick];
+      hook.Store(&samples_[base + i], sizeof(Vid));
+    }
+  }
+
+  // Packed sample storage for all PS partitions.
+  AlignedBuffer<Vid> samples_;
+  // Consumption cursor per vertex; cursor_[v] == degree(v) means "empty, refill".
+  std::vector<Degree> cursor_;
+  // Base offset of each PS partition's region in samples_ (by plan VP index;
+  // undefined for DS partitions).
+  std::vector<Eid> vp_sample_base_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_PRESAMPLE_H_

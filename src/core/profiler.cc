@@ -1,0 +1,198 @@
+#include "src/core/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/core/presample.h"
+#include "src/core/sample_stage.h"
+#include "src/core/shuffle.h"
+#include "src/gen/uniform_degree.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace fm {
+
+double MeasureSamplePointNs(Vid vp_vertices, Degree degree, double density,
+                            SamplePolicy policy, uint64_t seed,
+                            uint32_t min_iterations) {
+  FM_CHECK(vp_vertices > 0 && degree > 0);
+  // Targets stay inside the VP so walkers never leave and every iteration exercises
+  // the same working set (the Fig 6 setup).
+  CsrGraph graph = GenerateUniformDegreeGraph(vp_vertices, degree, seed,
+                                              /*target_universe=*/vp_vertices);
+  PartitionPlan plan = PartitionPlan::BuildUniform(graph, 1, policy);
+  PresampleBuffers presample(graph, plan);
+
+  uint64_t edges = static_cast<uint64_t>(vp_vertices) * degree;
+  Wid walkers = std::max<Wid>(static_cast<Wid>(density * static_cast<double>(edges)),
+                              1024);
+  std::vector<Vid> sw(walkers);
+  XorShiftRng init_rng(DeriveSeed(seed, 0x11D7));
+  for (Wid j = 0; j < walkers; ++j) {
+    sw[j] = static_cast<Vid>(init_rng.NextBounded(vp_vertices));
+  }
+
+  NullMemHook hook;
+  const VertexPartition& vp = plan.vp(0);
+  // Warm-up iteration populates PS buffers, then measure enough iterations to
+  // cover timer resolution.
+  XorShiftRng rng(DeriveSeed(seed, 0x5A17));
+  SampleVpFirstOrder(graph, 0, vp, &presample, sw.data(), walkers, 0.0, nullptr,
+                     rng, hook);
+  uint32_t iterations = min_iterations;
+  // Target ~20M walker-steps per measurement, bounded for huge VPs.
+  uint64_t target_steps = 20'000'000;
+  iterations = std::max<uint32_t>(
+      iterations,
+      static_cast<uint32_t>(std::min<uint64_t>(64, target_steps / walkers + 1)));
+  // In the engine, a VP's working set is evicted between its visits by the shuffle
+  // passes and the other ~2000 VPs, so each iteration starts cold unless the
+  // density amortizes the refetch. Emulate that by sweeping a 2xL3 buffer between
+  // timed iterations; without this, the profile overstates cache residency and the
+  // planner over-commits to PS.
+  static std::vector<uint64_t>& flush = *new std::vector<uint64_t>(
+      2 * PaperCacheInfo().l3_bytes / sizeof(uint64_t), 1);
+  double timed_ns = 0;
+  uint64_t sink = 0;
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (size_t i = 0; i < flush.size(); i += 8) {
+      sink += flush[i];
+    }
+    Timer timer;
+    SampleVpFirstOrder(graph, 0, vp, &presample, sw.data(), walkers, 0.0, nullptr,
+                       rng, hook);
+    timed_ns += timer.ElapsedNanos();
+  }
+  if (sink == 0xDEADBEEF) {
+    std::fprintf(stderr, "unreachable\n");
+  }
+  return timed_ns / (static_cast<double>(iterations) * static_cast<double>(walkers));
+}
+
+double MeasureShuffleNsPerWalker(uint64_t seed) {
+  // Representative setup: 1M walkers over a 256k-vertex uniform graph cut into 1024
+  // partitions (single-level).
+  const Vid n = 1 << 18;
+  const Wid walkers = 1 << 20;
+  CsrGraph graph = GenerateUniformDegreeGraph(n, 4, seed);
+  PartitionPlan plan = PartitionPlan::BuildUniform(graph, 1024, SamplePolicy::kDS);
+  Shuffler shuffler(&plan, &ThreadPool::Global());
+
+  std::vector<Vid> w(walkers);
+  std::vector<Vid> sw(walkers);
+  std::vector<Vid> w_next(walkers);
+  XorShiftRng rng(DeriveSeed(seed, 0x5FFL));
+  for (Wid j = 0; j < walkers; ++j) {
+    w[j] = static_cast<Vid>(rng.NextBounded(n));
+  }
+  shuffler.Scatter(w.data(), nullptr, walkers, sw.data(), nullptr);  // warm-up
+  Timer timer;
+  const uint32_t iterations = 5;
+  for (uint32_t it = 0; it < iterations; ++it) {
+    shuffler.Scatter(w.data(), nullptr, walkers, sw.data(), nullptr);
+    shuffler.Gather(w.data(), walkers, sw.data(), w_next.data(), nullptr, nullptr);
+  }
+  return timer.ElapsedNanos() / (static_cast<double>(iterations) * walkers);
+}
+
+CalibratedCostModel::CalibratedCostModel(const CacheInfo& cache,
+                                         uint32_t threads_sharing_l3)
+    : analytic_(cache, LatencyModel{}, threads_sharing_l3) {}
+
+CalibratedCostModel CalibratedCostModel::Calibrate(const CacheInfo& cache,
+                                                   uint32_t threads_sharing_l3) {
+  CalibratedCostModel model(cache, threads_sharing_l3);
+  const Degree degree = 16;
+  const double density = 1.0;
+  for (int p = 0; p < 2; ++p) {
+    SamplePolicy policy = p == 0 ? SamplePolicy::kPS : SamplePolicy::kDS;
+    for (uint8_t level = 1; level <= 4; ++level) {
+      // Pick the vertex count whose working set half-fills the level (x4 for DRAM).
+      uint64_t budget = level == 4 ? cache.l3_bytes * 4
+                                   : cache.LevelBytes(level) / 2;
+      uint64_t per_vertex = policy == SamplePolicy::kPS
+                                ? (4 + kCacheLineBytes)
+                                : (static_cast<uint64_t>(degree) * 4 + 8);
+      Vid vertices =
+          static_cast<Vid>(std::clamp<uint64_t>(budget / per_vertex, 64, 8u << 20));
+      double measured = MeasureSamplePointNs(vertices, degree, density, policy);
+      double analytic = model.analytic_.SampleNsPerStep(vertices, degree, density,
+                                                        policy);
+      model.factors_[p][level - 1] =
+          analytic > 0 ? std::clamp(measured / analytic, 0.05, 20.0) : 1.0;
+    }
+  }
+  model.shuffle_ns_ = MeasureShuffleNsPerWalker();
+  return model;
+}
+
+CalibratedCostModel CalibratedCostModel::LoadOrCalibrate(
+    const std::string& path, const CacheInfo& cache, uint32_t threads_sharing_l3) {
+  CalibratedCostModel model(cache, threads_sharing_l3);
+  if (model.LoadFromFile(path)) {
+    return model;
+  }
+  FM_LOG(kInfo) << "profile " << path << " missing/corrupt; calibrating";
+  model = Calibrate(cache, threads_sharing_l3);
+  if (!model.SaveToFile(path)) {
+    FM_LOG(kWarn) << "could not save profile to " << path;
+  }
+  return model;
+}
+
+double CalibratedCostModel::SampleNsPerStep(uint64_t vp_vertices, double avg_degree,
+                                            double density,
+                                            SamplePolicy policy) const {
+  uint8_t level = analytic_.LevelFor(
+      analytic_.WorkingSetBytes(vp_vertices, avg_degree, policy));
+  return analytic_.SampleNsPerStep(vp_vertices, avg_degree, density, policy) *
+         factors_[policy == SamplePolicy::kPS ? 0 : 1][level - 1];
+}
+
+bool CalibratedCostModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out.precision(17);
+  out << "fmprofile-v1\n";
+  for (int p = 0; p < 2; ++p) {
+    for (int l = 0; l < 4; ++l) {
+      out << factors_[p][l] << (l == 3 ? '\n' : ' ');
+    }
+  }
+  out << shuffle_ns_ << "\n";
+  return static_cast<bool>(out);
+}
+
+bool CalibratedCostModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string magic;
+  if (!(in >> magic) || magic != "fmprofile-v1") {
+    return false;
+  }
+  double factors[2][4];
+  double shuffle_ns = 0;
+  for (auto& row : factors) {
+    for (double& f : row) {
+      if (!(in >> f) || !(f > 0) || !std::isfinite(f)) {
+        return false;
+      }
+    }
+  }
+  if (!(in >> shuffle_ns) || !(shuffle_ns > 0) || !std::isfinite(shuffle_ns)) {
+    return false;
+  }
+  std::copy(&factors[0][0], &factors[0][0] + 8, &factors_[0][0]);
+  shuffle_ns_ = shuffle_ns;
+  return true;
+}
+
+}  // namespace fm

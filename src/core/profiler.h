@@ -1,0 +1,65 @@
+// Offline profiling and the calibrated cost model (§4.4 "Offline profiling for
+// profit calculation").
+//
+// The paper's key insight: sampling cost depends only on (VP size, degree, density,
+// policy) and the machine — not on graph topology — so microbenchmark curves taken
+// once on synthetic uniform-degree VPs (the Figure 6 experiment) can price every
+// candidate partition of every future graph. Here the measured points calibrate the
+// analytic skeleton with per-(policy, cache-level) correction factors; the result is
+// persisted to a small profile file and reused across runs and graphs.
+#ifndef SRC_CORE_PROFILER_H_
+#define SRC_CORE_PROFILER_H_
+
+#include <string>
+
+#include "src/core/cost_model.h"
+
+namespace fm {
+
+// Measures the real per-walker-step cost of the sample-stage kernel on a synthetic
+// VP: `vp_vertices` vertices of exactly `degree` out-edges (targets uniform within
+// the VP), walker count = density * edges. This is one data point of Figure 6.
+double MeasureSamplePointNs(Vid vp_vertices, Degree degree, double density,
+                            SamplePolicy policy, uint64_t seed = 7,
+                            uint32_t min_iterations = 3);
+
+// Measures the shuffle cost per walker per level (Scatter + Gather over a
+// representative uniform plan).
+double MeasureShuffleNsPerWalker(uint64_t seed = 7);
+
+class CalibratedCostModel : public CostModel {
+ public:
+  // Runs the calibration microbenchmarks (a dozen seconds-scale points: one VP per
+  // (policy, cache level) at degree 16, density 1).
+  static CalibratedCostModel Calibrate(const CacheInfo& cache,
+                                       uint32_t threads_sharing_l3 = 1);
+
+  // Loads a previously saved profile; falls back to Calibrate() + save when the
+  // file is missing or corrupt (the corruption fallback is a tested failure path).
+  static CalibratedCostModel LoadOrCalibrate(const std::string& path,
+                                             const CacheInfo& cache,
+                                             uint32_t threads_sharing_l3 = 1);
+
+  double SampleNsPerStep(uint64_t vp_vertices, double avg_degree, double density,
+                         SamplePolicy policy) const override;
+  double ShuffleNsPerWalker() const override { return shuffle_ns_; }
+
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+  double factor(SamplePolicy policy, uint8_t level) const {
+    return factors_[policy == SamplePolicy::kPS ? 0 : 1][level - 1];
+  }
+
+ private:
+  explicit CalibratedCostModel(const CacheInfo& cache, uint32_t threads_sharing_l3);
+
+  AnalyticCostModel analytic_;
+  // Correction factor measured/analytic per policy (PS, DS) and level (L1..DRAM).
+  double factors_[2][4] = {{1, 1, 1, 1}, {1, 1, 1, 1}};
+  double shuffle_ns_ = 3.0;
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_PROFILER_H_

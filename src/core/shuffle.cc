@@ -1,0 +1,209 @@
+#include "src/core/shuffle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace fm {
+namespace {
+
+// Chunk boundaries: chunk c of n over k chunks.
+inline Wid ChunkBegin(Wid n, uint32_t chunks, uint32_t c) {
+  return n / chunks * c + std::min<Wid>(c, n % chunks);
+}
+
+}  // namespace
+
+Shuffler::Shuffler(const PartitionPlan* plan, ThreadPool* pool)
+    : plan_(plan), pool_(pool), num_vps_(plan->num_vps()) {
+  num_chunks_ = pool_->thread_count();
+  starts_.resize(static_cast<size_t>(num_chunks_) * (num_vps_ + 1));
+  vp_offsets_.resize(num_vps_ + 2);
+}
+
+void Shuffler::CountAndPrefix(const Vid* w, Wid n) {
+  size_t row = num_vps_ + 1;
+  std::fill(starts_.begin(), starts_.end(), 0);
+  // Pass 1: per-chunk destination counts (sequential read of W; counter arrays stay
+  // cache-resident — this is the L2-derived fan-out constraint of §4.3).
+  pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
+    Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
+    Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    Wid* counts = &starts_[c * row];
+    for (Wid j = begin; j < end; ++j) {
+      ++counts[BinOfValue(w[j])];
+    }
+  });
+  // Prefix over (vp-major, chunk-minor): the SW order within a partition is (chunk,
+  // scan), which Gather replays deterministically.
+  Wid acc = 0;
+  for (uint32_t vp = 0; vp <= num_vps_; ++vp) {
+    vp_offsets_[vp] = acc;
+    for (uint32_t c = 0; c < num_chunks_; ++c) {
+      Wid count = starts_[c * row + vp];
+      starts_[c * row + vp] = acc;
+      acc += count;
+    }
+  }
+  vp_offsets_[num_vps_ + 1] = acc;
+  FM_CHECK(acc == n);
+  scattered_n_ = n;
+}
+
+void Shuffler::ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                             Vid* sw_aux) {
+  size_t row = num_vps_ + 1;
+  pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
+    Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
+    Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    // Working copy so starts_ stays intact for Gather's replay.
+    std::vector<Wid> offs(starts_.begin() + c * row,
+                          starts_.begin() + (c + 1) * row);
+    for (Wid j = begin; j < end; ++j) {
+      Wid p = offs[BinOfValue(w[j])]++;
+      sw[p] = w[j];
+      if (aux != nullptr) {
+        sw_aux[p] = aux[j];
+      }
+    }
+  });
+}
+
+void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                               Vid* sw_aux) {
+  // Outer pass: scatter by outer bin into the intermediate array. Outer-bin chunk
+  // starts derive from VP-granularity starts because each bin covers a contiguous VP
+  // range.
+  inter_.resize(n);
+  if (aux != nullptr) {
+    inter_aux_.resize(n);
+  }
+  size_t row = num_vps_ + 1;
+  uint32_t num_bins = plan_->num_outer_bins();
+
+  // bin_first_vp[b] = plan VP index starting bin b; dead bin maps past the end.
+  std::vector<uint32_t> bin_first_vp(num_bins + 1);
+  for (const PartitionGroup& g : plan_->groups()) {
+    if (g.internal_shuffle) {
+      bin_first_vp[g.outer_bin_base] = g.vp_base;
+    } else {
+      for (uint32_t i = 0; i < g.vp_count; ++i) {
+        bin_first_vp[g.outer_bin_base + i] = g.vp_base + i;
+      }
+    }
+  }
+  bin_first_vp[num_bins] = num_vps_;  // dead bin
+
+  pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
+    Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
+    Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    // Per-(chunk, bin) start = bin base + walkers of earlier chunks in this bin.
+    // Earlier chunks' contribution per bin = sum over member VPs of
+    // (starts_[c][vp] - vp_offsets_[vp]), since starts_[c][vp] already accumulates
+    // earlier chunks at VP granularity.
+    std::vector<Wid> cursor(num_bins + 1);
+    for (uint32_t b = 0; b <= num_bins; ++b) {
+      uint32_t vp_lo = bin_first_vp[b];
+      uint32_t vp_hi = (b == num_bins) ? num_vps_ + 1 : bin_first_vp[b + 1];
+      Wid bin_base = vp_offsets_[vp_lo];
+      Wid earlier = 0;
+      for (uint32_t vp = vp_lo; vp < vp_hi; ++vp) {
+        earlier += starts_[c * row + vp] - vp_offsets_[vp];
+      }
+      cursor[b] = bin_base + earlier;
+    }
+    for (Wid j = begin; j < end; ++j) {
+      Vid v = w[j];
+      uint32_t b = (v == kInvalidVid) ? num_bins : plan_->OuterBinOf(v);
+      Wid p = cursor[b]++;
+      inter_[p] = v;
+      if (aux != nullptr) {
+        inter_aux_[p] = aux[j];
+      }
+    }
+  });
+
+  // Inner pass: internal-shuffle bins get a counting scatter from the intermediate
+  // chunk into SW; single-VP bins copy through. Parallel over groups.
+  const auto& groups = plan_->groups();
+  pool_->ParallelFor(groups.size() + 1, [&](uint64_t gi, uint32_t) {
+    if (gi == groups.size()) {
+      // Dead bin: copy through.
+      Wid begin = vp_offsets_[num_vps_];
+      Wid end = vp_offsets_[num_vps_ + 1];
+      if (end > begin) {
+        std::memcpy(sw + begin, inter_.data() + begin, (end - begin) * sizeof(Vid));
+        if (aux != nullptr) {
+          std::memcpy(sw_aux + begin, inter_aux_.data() + begin,
+                      (end - begin) * sizeof(Vid));
+        }
+      }
+      return;
+    }
+    const PartitionGroup& g = groups[gi];
+    Wid begin = vp_offsets_[g.vp_base];
+    Wid end = vp_offsets_[g.vp_base + g.vp_count];
+    if (end == begin) {
+      return;
+    }
+    if (!g.internal_shuffle) {
+      std::memcpy(sw + begin, inter_.data() + begin, (end - begin) * sizeof(Vid));
+      if (aux != nullptr) {
+        std::memcpy(sw_aux + begin, inter_aux_.data() + begin,
+                    (end - begin) * sizeof(Vid));
+      }
+      return;
+    }
+    // Stable in-bin counting scatter by VP: scanning the intermediate chunk in
+    // order preserves (chunk, scan) order per VP, matching the direct layout.
+    std::vector<Wid> offs(g.vp_count);
+    for (uint32_t i = 0; i < g.vp_count; ++i) {
+      offs[i] = vp_offsets_[g.vp_base + i];
+    }
+    for (Wid j = begin; j < end; ++j) {
+      uint32_t vp = plan_->VpOf(inter_[j]) - g.vp_base;
+      Wid p = offs[vp]++;
+      sw[p] = inter_[j];
+      if (aux != nullptr) {
+        sw_aux[p] = inter_aux_[j];
+      }
+    }
+  });
+}
+
+void Shuffler::Scatter(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux) {
+  CountAndPrefix(w, n);
+  if (plan_->has_internal_shuffle()) {
+    ScatterTwoLevel(w, aux, n, sw, sw_aux);
+  } else {
+    ScatterDirect(w, aux, n, sw, sw_aux);
+  }
+}
+
+void Shuffler::ScatterTwoLevelForTest(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                                      Vid* sw_aux) {
+  CountAndPrefix(w, n);
+  ScatterTwoLevel(w, aux, n, sw, sw_aux);
+}
+
+void Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
+                      const Vid* sw_aux, Vid* aux_next) const {
+  FM_CHECK_MSG(n == scattered_n_, "Gather must replay the exact Scatter input");
+  size_t row = num_vps_ + 1;
+  pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
+    Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
+    Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    std::vector<Wid> offs(starts_.begin() + c * row,
+                          starts_.begin() + (c + 1) * row);
+    for (Wid j = begin; j < end; ++j) {
+      Wid p = offs[BinOfValue(w_prev[j])]++;
+      w_next[j] = sw[p];
+      if (sw_aux != nullptr) {
+        aux_next[j] = sw_aux[p];
+      }
+    }
+  });
+}
+
+}  // namespace fm

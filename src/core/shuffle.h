@@ -1,0 +1,84 @@
+// Walker-to-partition shuffle (§4.3).
+//
+// Between walk steps, the walker array W_i (walker order) is regrouped into SW_i
+// (partition order) with a two-pass counting shuffle: pass 1 counts walkers per
+// destination partition per thread chunk, pass 2 scatters after a prefix sum. Within
+// each partition, SW preserves the W-scan order — this implicit ordering is what lets
+// the engine recover walker identities without storing <walker, vertex> pairs: after
+// the sample stage overwrites SW in place, Gather() re-scans W_i, replays the same
+// counting offsets, and writes each walker's new location back to its walker-order
+// slot in W_{i+1} ("Compact walker state storage").
+//
+// When the plan exceeds the outer fan-out limit, groups flagged `internal_shuffle`
+// form a single outer bin and their partitions are separated by a second counting
+// pass over the bin's chunk (the "additional level of shuffle" of §4.4). The final
+// layout is identical either way — grouped by VP, (chunk, scan)-ordered within VP —
+// which tests assert.
+#ifndef SRC_CORE_SHUFFLE_H_
+#define SRC_CORE_SHUFFLE_H_
+
+#include <vector>
+
+#include "src/core/partition_plan.h"
+#include "src/util/thread_pool.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+class Shuffler {
+ public:
+  Shuffler(const PartitionPlan* plan, ThreadPool* pool);
+
+  // Scatters w[0..n) into sw[0..n), grouped by vertex partition (dead walkers —
+  // value kInvalidVid — go to a trailing dead bin). `aux`/`sw_aux` optionally carry
+  // a second per-walker attribute through the same permutation (node2vec's previous
+  // vertex). After Scatter, vp_offsets()[i]..vp_offsets()[i+1] is partition i's
+  // chunk.
+  void Scatter(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);
+
+  // Replays the permutation from w_prev (the array Scatter consumed): writes
+  // w_next[j] = sw[position walker j's element was scattered to], and likewise for
+  // the aux stream when supplied.
+  void Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
+              const Vid* sw_aux, Vid* aux_next) const;
+
+  // Partition chunk boundaries in SW: size num_vps + 2 (entry num_vps is the dead
+  // bin start; entry num_vps+1 == n).
+  const std::vector<Wid>& vp_offsets() const { return vp_offsets_; }
+
+  Wid dead_count() const {
+    return vp_offsets_.back() - vp_offsets_[vp_offsets_.size() - 2];
+  }
+
+  // Exposed for tests: scatter via the explicit two-level path (outer bins then
+  // in-bin counting) regardless of plan.has_internal_shuffle(); must produce the
+  // same layout as the direct path.
+  void ScatterTwoLevelForTest(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                              Vid* sw_aux);
+
+ private:
+  uint32_t BinOfValue(Vid value) const {
+    return value == kInvalidVid ? num_vps_ : plan_->VpOf(value);
+  }
+
+  void CountAndPrefix(const Vid* w, Wid n);
+  void ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);
+  void ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);
+
+  const PartitionPlan* plan_;
+  ThreadPool* pool_;
+  uint32_t num_vps_;
+  uint32_t num_chunks_;
+  Wid scattered_n_ = 0;
+
+  // starts_[chunk * (num_vps_+1) + vp] = first SW slot for that (chunk, vp) pair.
+  std::vector<Wid> starts_;
+  std::vector<Wid> vp_offsets_;
+  // Scratch for the two-level path.
+  std::vector<Vid> inter_;
+  std::vector<Vid> inter_aux_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_SHUFFLE_H_

@@ -1,0 +1,45 @@
+// Registry of the five evaluation-graph stand-ins (Table 4 substitution).
+//
+// The paper evaluates on YouTube (YT), Twitter (TW), Friendster (FS), UK-Union (UK)
+// and YahooWeb (YH) — up to 6.64B edges / 58 GB of CSR, which neither fits this
+// reproduction box nor is fully redistributable. Each stand-in is a synthetic graph
+// whose degree-distribution *shape* is fitted to Table 2 (per-bucket average degree
+// and edge share) and whose average degree matches Table 4, scaled down by default
+// and scalable via FM_SCALE. UK additionally gets a locality bias to model its larger
+// diameter (§5.2's explanation of the UK outlier). See DESIGN.md §3.
+#ifndef SRC_GEN_DATASET_REGISTRY_H_
+#define SRC_GEN_DATASET_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/gen/powerlaw_graph.h"
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+struct DatasetSpec {
+  std::string name;           // "YT", "TW", ...
+  std::string full_name;      // "YouTube", ...
+  // Paper-reported full-size statistics (Table 4), for reference output.
+  uint64_t paper_vertices;
+  uint64_t paper_edges;
+  double paper_csr_gb;
+  // Stand-in generation parameters at FM_SCALE=1.
+  PowerLawConfig gen;
+};
+
+// All five stand-ins in the paper's order: YT, TW, FS, UK, YH.
+const std::vector<DatasetSpec>& AllDatasets();
+
+// Lookup by short name; throws std::invalid_argument for unknown names.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+// Generates (or loads from the FM_DATASET_CACHE directory, default
+// ".dataset_cache/") the stand-in at the given scale multiplier on |V|.
+// scale <= 0 uses FM_SCALE (default 1.0).
+CsrGraph LoadDataset(const DatasetSpec& spec, double scale = 0.0);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_DATASET_REGISTRY_H_

@@ -1,0 +1,42 @@
+// Power-law graph generator (configuration-model style).
+//
+// Produces the degree-skewed stand-ins for the paper's social/web graphs. Out-degrees
+// follow a rank-Zipf sequence (zipf.h); edge targets are drawn degree-proportionally
+// so in-degree skew matches out-degree skew — this reproduces Table 2's key property
+// that a degree group's share of walker visits tracks its share of edges.
+//
+// A `locality` parameter biases a fraction of the targets toward nearby vertex IDs,
+// modelling the web graphs' stronger locality (§5.2 explains FlashMob's smaller UK
+// speedup by UK's larger diameter / lower walker mobility).
+#ifndef SRC_GEN_POWERLAW_GRAPH_H_
+#define SRC_GEN_POWERLAW_GRAPH_H_
+
+#include <cstdint>
+
+#include "src/gen/zipf.h"
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+struct PowerLawConfig {
+  ZipfDegreeConfig degrees;
+  uint64_t seed = 1;
+  // Fraction of targets drawn from a window of nearby ranks instead of globally.
+  double locality = 0.0;
+  Vid locality_window = 4096;
+  // When true, vertex labels are randomly permuted after generation so callers must
+  // run DegreeSort themselves (exercises the real pre-processing path).
+  bool shuffle_labels = false;
+  // When true, edges carry random weights in [0.5, 8.5) (weighted-walk workloads).
+  bool random_weights = false;
+};
+
+// Generates the graph; every vertex has out-degree >= degrees.min_degree (>= 1 keeps
+// walkers alive). Self-loops are avoided where possible; duplicate targets may occur
+// (as in real crawls with multi-edges collapsed or not — the walk semantics only see
+// transition probabilities, which duplicates merely re-weight).
+CsrGraph GeneratePowerLawGraph(const PowerLawConfig& config);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_POWERLAW_GRAPH_H_

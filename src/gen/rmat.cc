@@ -1,0 +1,52 @@
+#include "src/gen/rmat.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace fm {
+
+CsrGraph GenerateRmatGraph(const RmatConfig& config) {
+  FM_CHECK(config.scale >= 1 && config.scale <= 31);
+  double d = 1.0 - config.a - config.b - config.c;
+  FM_CHECK_MSG(d >= 0, "RMAT quadrant probabilities exceed 1");
+
+  Vid n = Vid{1} << config.scale;
+  uint64_t m = static_cast<uint64_t>(config.edge_factor) * n;
+  XorShiftRng rng(DeriveSeed(config.seed, 0x524D4154ULL));
+
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < m; ++e) {
+    Vid row = 0;
+    Vid col = 0;
+    for (uint32_t bit = 0; bit < config.scale; ++bit) {
+      double r = rng.NextDouble();
+      // Quadrant choice with slight per-level noise, as in the original paper, to
+      // avoid exact self-similarity artifacts.
+      double na = config.a * (0.95 + 0.1 * rng.NextDouble());
+      double nb = config.b * (0.95 + 0.1 * rng.NextDouble());
+      double nc = config.c * (0.95 + 0.1 * rng.NextDouble());
+      double nd = d * (0.95 + 0.1 * rng.NextDouble());
+      double norm = na + nb + nc + nd;
+      na /= norm;
+      nb /= norm;
+      nc /= norm;
+      r *= 1.0;
+      row <<= 1;
+      col <<= 1;
+      if (r < na) {
+        // top-left
+      } else if (r < na + nb) {
+        col |= 1;
+      } else if (r < na + nb + nc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    builder.AddEdge(row, col);
+  }
+  return builder.Build(config.build);
+}
+
+}  // namespace fm

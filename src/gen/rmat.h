@@ -1,0 +1,31 @@
+// R-MAT (Recursive MATrix) graph generator (Chakrabarti et al., 2004).
+//
+// A second, independently-shaped source of skewed graphs for tests and ablations;
+// Graph500-style parameters (a=0.57, b=0.19, c=0.19, d=0.05) produce heavy-tailed
+// in/out degrees without the rank-Zipf construction used by the stand-ins, guarding
+// the engine against over-fitting to one generator.
+#ifndef SRC_GEN_RMAT_H_
+#define SRC_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+#include "src/graph/graph_builder.h"
+
+namespace fm {
+
+struct RmatConfig {
+  uint32_t scale = 16;        // |V| = 2^scale
+  uint32_t edge_factor = 16;  // |E| = edge_factor * |V|
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;            // d = 1 - a - b - c
+  uint64_t seed = 1;
+  BuildOptions build;         // applied when materializing the CSR
+};
+
+CsrGraph GenerateRmatGraph(const RmatConfig& config);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_RMAT_H_

@@ -1,0 +1,27 @@
+#include "src/gen/toy_graphs.h"
+
+#include <algorithm>
+
+#include "src/gen/uniform_degree.h"
+#include "src/util/logging.h"
+
+namespace fm {
+
+Vid ToyGraphVertexCount(uint64_t budget_bytes, Degree degree) {
+  // CSR bytes = (|V| + 1) * sizeof(Eid) + |V| * degree * sizeof(Vid).
+  uint64_t per_vertex = sizeof(Eid) + static_cast<uint64_t>(degree) * sizeof(Vid);
+  uint64_t v = budget_bytes > sizeof(Eid) ? (budget_bytes - sizeof(Eid)) / per_vertex
+                                          : 0;
+  return static_cast<Vid>(std::max<uint64_t>(v, 2));
+}
+
+CsrGraph GenerateCacheSizedGraph(uint64_t budget_bytes, Degree degree,
+                                 uint64_t seed) {
+  Vid n = ToyGraphVertexCount(budget_bytes, degree);
+  CsrGraph graph = GenerateUniformDegreeGraph(n, degree, seed);
+  FM_CHECK_MSG(graph.CsrBytes() <= budget_bytes || n == 2,
+               "toy graph exceeded its byte budget");
+  return graph;
+}
+
+}  // namespace fm

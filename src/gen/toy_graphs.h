@@ -1,0 +1,26 @@
+// Cache-sized toy graphs for the Figure 1 highlight experiment.
+//
+// Figure 1 runs KnightKing on "toy graphs sized to fit the data footprint entirely
+// into the L1, L2, and L3 capacities" to show how per-step time degrades as working
+// sets fall out of each level; FlashMob's large-graph speed is then compared to those
+// ceilings. These helpers size a random regular graph so its CSR footprint lands just
+// under a byte budget.
+#ifndef SRC_GEN_TOY_GRAPHS_H_
+#define SRC_GEN_TOY_GRAPHS_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+// Number of vertices of a degree-`degree` regular graph whose CSR arrays fit in
+// `budget_bytes` (at least 2 vertices).
+Vid ToyGraphVertexCount(uint64_t budget_bytes, Degree degree);
+
+// A random `degree`-regular graph whose CSR footprint is <= budget_bytes.
+CsrGraph GenerateCacheSizedGraph(uint64_t budget_bytes, Degree degree, uint64_t seed);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_TOY_GRAPHS_H_

@@ -1,0 +1,36 @@
+#include "src/gen/uniform_degree.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace fm {
+
+CsrGraph GenerateUniformDegreeGraph(Vid num_vertices, Degree degree, uint64_t seed,
+                                    Vid target_universe) {
+  FM_CHECK(num_vertices > 0);
+  if (target_universe == 0) {
+    target_universe = num_vertices;
+  }
+  std::vector<Eid> offsets(static_cast<size_t>(num_vertices) + 1);
+  for (Vid v = 0; v <= num_vertices; ++v) {
+    offsets[v] = static_cast<Eid>(v) * degree;
+  }
+  std::vector<Vid> edges(offsets.back());
+  ThreadPool::Global().ParallelChunks(
+      num_vertices, [&](uint64_t begin, uint64_t end, uint32_t worker) {
+        XorShiftRng rng(DeriveSeed(seed, 0x554E4900ULL + worker));
+        for (Vid v = static_cast<Vid>(begin); v < static_cast<Vid>(end); ++v) {
+          Eid out = offsets[v];
+          for (Degree i = 0; i < degree; ++i) {
+            edges[out + i] = static_cast<Vid>(rng.NextBounded(target_universe));
+          }
+          std::sort(edges.begin() + out, edges.begin() + out + degree);
+        }
+      });
+  return CsrGraph(std::move(offsets), std::move(edges));
+}
+
+}  // namespace fm

@@ -1,0 +1,25 @@
+// Uniform-degree graph generator.
+//
+// Two roles:
+//  1. The synthetic vertex partitions of Figure 6 ("synthetic VPs possessing a
+//     uniform degree, ranging from 1024 to 16") that calibrate the PS/DS cost model.
+//  2. Regular random graphs for tests (every vertex identical, so analytic
+//     stationary distributions are exact).
+#ifndef SRC_GEN_UNIFORM_DEGREE_H_
+#define SRC_GEN_UNIFORM_DEGREE_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+// Every one of `num_vertices` vertices has exactly `degree` out-edges, each target
+// uniform over [0, target_universe) (target_universe == 0 means the graph itself).
+// Adjacency lists are sorted.
+CsrGraph GenerateUniformDegreeGraph(Vid num_vertices, Degree degree, uint64_t seed,
+                                    Vid target_universe = 0);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_UNIFORM_DEGREE_H_

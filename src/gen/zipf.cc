@@ -1,0 +1,71 @@
+#include "src/gen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace fm {
+
+std::vector<Degree> ZipfDegreeSequence(const ZipfDegreeConfig& config) {
+  FM_CHECK(config.num_vertices > 0);
+  FM_CHECK(config.avg_degree > 0);
+  FM_CHECK(config.alpha >= 0);
+  Vid n = config.num_vertices;
+
+  // Unnormalized weights w_i = (i + 1)^-alpha, scaled so that the mean hits
+  // avg_degree. Clamping to [min, max] changes the mean, so rescale iteratively (the
+  // fixed point converges in a handful of rounds for any realistic parameters).
+  std::vector<double> weights(n);
+  double weight_sum = 0;
+  for (Vid i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -config.alpha);
+    weight_sum += weights[i];
+  }
+  double target_total = config.avg_degree * static_cast<double>(n);
+  double scale = target_total / weight_sum;
+
+  std::vector<Degree> degrees(n);
+  double max_cap = config.max_degree == 0
+                       ? std::numeric_limits<double>::max()
+                       : static_cast<double>(config.max_degree);
+  for (int round = 0; round < 16; ++round) {
+    double total = 0;
+    for (Vid i = 0; i < n; ++i) {
+      double d = std::clamp(weights[i] * scale,
+                            static_cast<double>(config.min_degree), max_cap);
+      degrees[i] = static_cast<Degree>(std::llround(d));
+      if (degrees[i] < config.min_degree) {
+        degrees[i] = config.min_degree;
+      }
+      total += degrees[i];
+    }
+    double mean = total / static_cast<double>(n);
+    if (std::fabs(mean - config.avg_degree) < 0.5) {
+      break;
+    }
+    scale *= config.avg_degree / mean;
+  }
+  // The clamp preserves descending order since weights are descending.
+  return degrees;
+}
+
+double TopShare(const std::vector<Degree>& degrees, double fraction) {
+  if (degrees.empty()) {
+    return 0;
+  }
+  size_t k = static_cast<size_t>(std::ceil(fraction * static_cast<double>(degrees.size())));
+  k = std::max<size_t>(k, 1);
+  uint64_t top = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    total += degrees[i];
+    if (i < k) {
+      top += degrees[i];
+    }
+  }
+  return total == 0 ? 0 : static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace fm

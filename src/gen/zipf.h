@@ -1,0 +1,36 @@
+// Zipf-like degree sequence generation.
+//
+// The five evaluation graphs are not redistributable at full size (Table 4: up to
+// 6.64B edges / 58 GB CSR), so the stand-ins (dataset_registry.h) draw their degree
+// sequences from a rank-Zipf law d(rank) ~ rank^-alpha fitted to Table 2's per-bucket
+// degree/edge shares. The engine's behaviour is driven by degree skew, which this
+// preserves (see DESIGN.md §3).
+#ifndef SRC_GEN_ZIPF_H_
+#define SRC_GEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace fm {
+
+struct ZipfDegreeConfig {
+  Vid num_vertices = 0;
+  double avg_degree = 8.0;   // target mean; the sequence is scaled to hit it
+  double alpha = 0.8;        // skew exponent (0 = uniform, ~0.85 = Twitter-like)
+  Degree min_degree = 1;
+  Degree max_degree = 0;     // 0 = no cap
+};
+
+// Returns a descending degree sequence of length num_vertices whose mean is within
+// one unit of avg_degree (subject to min/max clamping).
+std::vector<Degree> ZipfDegreeSequence(const ZipfDegreeConfig& config);
+
+// Share of the degree mass held by the top `fraction` of ranks (diagnostic used by
+// tests to verify the fit against Table 2).
+double TopShare(const std::vector<Degree>& degrees, double fraction);
+
+}  // namespace fm
+
+#endif  // SRC_GEN_ZIPF_H_

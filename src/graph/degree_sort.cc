@@ -1,0 +1,85 @@
+#include "src/graph/degree_sort.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fm {
+
+DegreeSortedGraph DegreeSort(const CsrGraph& graph) {
+  Vid n = graph.num_vertices();
+  DegreeSortedGraph result;
+  result.new_to_old.resize(n);
+  result.old_to_new.resize(n);
+  if (n == 0) {
+    result.graph = CsrGraph({0}, {});
+    return result;
+  }
+
+  // Counting sort on degree, descending. `counts[d]` first holds the number of
+  // vertices of degree d, then (after a suffix-style prefix pass in descending degree
+  // order) the first output slot for that degree. Stability (original VID order within
+  // equal degree) follows from the forward scatter scan.
+  Degree max_deg = graph.MaxDegree();
+  std::vector<Eid> counts(static_cast<size_t>(max_deg) + 2, 0);
+  for (Vid v = 0; v < n; ++v) {
+    ++counts[graph.degree(v)];
+  }
+  Eid slot = 0;
+  for (size_t d = max_deg + 1; d-- > 0;) {
+    Eid c = counts[d];
+    counts[d] = slot;
+    slot += c;
+  }
+  for (Vid v = 0; v < n; ++v) {
+    Vid pos = static_cast<Vid>(counts[graph.degree(v)]++);
+    result.new_to_old[pos] = v;
+    result.old_to_new[v] = pos;
+  }
+
+  // Rebuild the CSR under the new labels, carrying edge weights through the
+  // relabelling and the per-list re-sort.
+  std::vector<Eid> offsets(static_cast<size_t>(n) + 1, 0);
+  for (Vid nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + graph.degree(result.new_to_old[nv]);
+  }
+  std::vector<Vid> edges(offsets.back());
+  std::vector<float> weights(graph.weighted() ? offsets.back() : 0);
+  for (Vid nv = 0; nv < n; ++nv) {
+    Vid old_v = result.new_to_old[nv];
+    Eid write = offsets[nv];
+    auto nbrs = graph.neighbors(old_v);
+    if (!graph.weighted()) {
+      for (Vid old_target : nbrs) {
+        edges[write++] = result.old_to_new[old_target];
+      }
+      std::sort(edges.begin() + offsets[nv], edges.begin() + write);
+      continue;
+    }
+    auto wts = graph.neighbor_weights(old_v);
+    std::vector<std::pair<Vid, float>> pairs(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      pairs[i] = {result.old_to_new[nbrs[i]], wts[i]};
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [target, weight] : pairs) {
+      edges[write] = target;
+      weights[write] = weight;
+      ++write;
+    }
+  }
+  result.graph = CsrGraph(std::move(offsets), std::move(edges), std::move(weights));
+  return result;
+}
+
+bool IsDegreeSorted(const CsrGraph& graph) {
+  for (Vid v = 1; v < graph.num_vertices(); ++v) {
+    if (graph.degree(v) > graph.degree(v - 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fm

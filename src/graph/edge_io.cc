@@ -1,0 +1,172 @@
+#include "src/graph/edge_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fm {
+namespace {
+
+constexpr uint64_t kCsrMagic = 0x464D435352303031ULL;          // "FMCSR001"
+constexpr uint64_t kCsrWeightedMagic = 0x464D435352303032ULL;  // "FMCSR002"
+
+void ThrowIo(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+CsrGraph LoadEdgeListText(const std::string& path, const BuildOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    ThrowIo("cannot open edge list", path);
+  }
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream ls(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("malformed edge at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    if (u > kInvalidVid - 1 || v > kInvalidVid - 1) {
+      throw std::runtime_error("vertex id exceeds 32-bit range at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    double weight = 1.0;  // optional third column: edge weight
+    if ((ls >> weight) && !(weight > 0)) {
+      throw std::runtime_error("non-positive edge weight at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<Vid>(u), static_cast<Vid>(v),
+                    static_cast<float>(weight));
+  }
+  return builder.Build(options);
+}
+
+void SaveEdgeListText(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    ThrowIo("cannot open for writing", path);
+  }
+  out << "# flashmob edge list |V|=" << graph.num_vertices()
+      << " |E|=" << graph.num_edges() << (graph.weighted() ? " weighted" : "")
+      << "\n";
+  for (Vid v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out << v << ' ' << nbrs[i];
+      if (graph.weighted()) {
+        out << ' ' << graph.neighbor_weights(v)[i];
+      }
+      out << '\n';
+    }
+  }
+  if (!out) {
+    ThrowIo("write failed", path);
+  }
+}
+
+void SaveCsrBinary(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    ThrowIo("cannot open for writing", path);
+  }
+  uint64_t header[3] = {graph.weighted() ? kCsrWeightedMagic : kCsrMagic,
+                        graph.num_vertices(), graph.num_edges()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>(graph.offsets().size() * sizeof(Eid)));
+  out.write(reinterpret_cast<const char*>(graph.edges().data()),
+            static_cast<std::streamsize>(graph.edges().size() * sizeof(Vid)));
+  if (graph.weighted()) {
+    out.write(reinterpret_cast<const char*>(graph.weights().data()),
+              static_cast<std::streamsize>(graph.weights().size() * sizeof(float)));
+  }
+  if (!out) {
+    ThrowIo("write failed", path);
+  }
+}
+
+CsrGraph LoadCsrBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ThrowIo("cannot open CSR file", path);
+  }
+  uint64_t header[3] = {0, 0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || (header[0] != kCsrMagic && header[0] != kCsrWeightedMagic)) {
+    ThrowIo("bad CSR magic", path);
+  }
+  bool weighted = header[0] == kCsrWeightedMagic;
+  uint64_t num_vertices = header[1];
+  uint64_t num_edges = header[2];
+  std::vector<Eid> offsets(num_vertices + 1);
+  std::vector<Vid> edges(num_edges);
+  std::vector<float> weights(weighted ? num_edges : 0);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(Eid)));
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(edges.size() * sizeof(Vid)));
+  if (weighted) {
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  }
+  if (!in) {
+    ThrowIo("truncated CSR file", path);
+  }
+  CsrGraph graph(std::move(offsets), std::move(edges), std::move(weights));
+  graph.CheckValid();
+  return graph;
+}
+
+CsrGraph LoadCsrBinaryMapped(const std::string& path) {
+  auto mapping = std::make_shared<MappedFile>(path);
+  // Layout (SaveCsrBinary): 3 x uint64 header, then offsets, then edges. The
+  // 24-byte header keeps the 8-byte offsets naturally aligned; edges (4-byte) are
+  // aligned at any multiple of 8.
+  const auto* base = static_cast<const uint8_t*>(mapping->data());
+  if (mapping->size() < 3 * sizeof(uint64_t)) {
+    ThrowIo("CSR file too small", path);
+  }
+  uint64_t header[3];
+  std::memcpy(header, base, sizeof(header));
+  if (header[0] != kCsrMagic && header[0] != kCsrWeightedMagic) {
+    ThrowIo("bad CSR magic", path);
+  }
+  bool weighted = header[0] == kCsrWeightedMagic;
+  uint64_t num_vertices = header[1];
+  uint64_t num_edges = header[2];
+  size_t offsets_bytes = (num_vertices + 1) * sizeof(Eid);
+  size_t edges_bytes = num_edges * sizeof(Vid);
+  size_t weights_bytes = weighted ? num_edges * sizeof(float) : 0;
+  if (mapping->size() < sizeof(header) + offsets_bytes + edges_bytes + weights_bytes) {
+    ThrowIo("truncated CSR file", path);
+  }
+  std::span<const Eid> offsets(
+      reinterpret_cast<const Eid*>(base + sizeof(header)), num_vertices + 1);
+  std::span<const Vid> edges(
+      reinterpret_cast<const Vid*>(base + sizeof(header) + offsets_bytes),
+      num_edges);
+  std::span<const float> weights;
+  if (weighted) {
+    weights = std::span<const float>(
+        reinterpret_cast<const float*>(base + sizeof(header) + offsets_bytes +
+                                       edges_bytes),
+        num_edges);
+  }
+  CsrGraph graph(std::move(mapping), offsets, edges, weights);
+  graph.CheckValid();
+  return graph;
+}
+
+}  // namespace fm

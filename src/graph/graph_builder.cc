@@ -1,0 +1,164 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace fm {
+
+void GraphBuilder::AddEdge(Vid from, Vid to, float weight) {
+  if (fixed_count_) {
+    if (from >= num_vertices_ || to >= num_vertices_) {
+      throw std::invalid_argument("GraphBuilder: edge endpoint out of range");
+    }
+  } else {
+    num_vertices_ = std::max({num_vertices_, from + 1, to + 1});
+  }
+  if (!(weight > 0)) {
+    throw std::invalid_argument("GraphBuilder: edge weight must be positive");
+  }
+  weighted_ |= weight != 1.0f;
+  sources_.push_back(from);
+  targets_.push_back(to);
+  weights_.push_back(weight);
+}
+
+CsrGraph GraphBuilder::Build(const BuildOptions& options,
+                             std::vector<Vid>* removed_to_original) {
+  if (options.undirected) {
+    size_t original = sources_.size();
+    sources_.reserve(original * 2);
+    targets_.reserve(original * 2);
+    weights_.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      sources_.push_back(targets_[i]);
+      targets_.push_back(sources_[i]);
+      weights_.push_back(weights_[i]);
+    }
+  }
+
+  Vid n = num_vertices_;
+  std::vector<Vid> relabel;  // original -> compacted, kInvalidVid if removed
+  if (options.remove_zero_degree) {
+    std::vector<uint8_t> touched(n, 0);
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (options.remove_self_loops && sources_[i] == targets_[i]) {
+        continue;
+      }
+      touched[sources_[i]] = 1;
+      touched[targets_[i]] = 1;
+    }
+    relabel.assign(n, kInvalidVid);
+    Vid next = 0;
+    std::vector<Vid> new_to_old;
+    for (Vid v = 0; v < n; ++v) {
+      if (touched[v]) {
+        relabel[v] = next++;
+        new_to_old.push_back(v);
+      }
+    }
+    n = next;
+    if (removed_to_original != nullptr) {
+      *removed_to_original = std::move(new_to_old);
+    }
+  } else if (removed_to_original != nullptr) {
+    removed_to_original->resize(n);
+    std::iota(removed_to_original->begin(), removed_to_original->end(), 0);
+  }
+
+  // Counting sort by source vertex: degree count, prefix sum, scatter.
+  std::vector<Eid> offsets(static_cast<size_t>(n) + 1, 0);
+  auto map_id = [&](Vid v) { return relabel.empty() ? v : relabel[v]; };
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (options.remove_self_loops && sources_[i] == targets_[i]) {
+      continue;
+    }
+    ++offsets[map_id(sources_[i]) + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<Vid> edges(offsets.back());
+  std::vector<float> edge_weights(weighted_ ? offsets.back() : 0);
+  std::vector<Eid> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (options.remove_self_loops && sources_[i] == targets_[i]) {
+      continue;
+    }
+    Eid slot = cursor[map_id(sources_[i])]++;
+    edges[slot] = map_id(targets_[i]);
+    if (weighted_) {
+      edge_weights[slot] = weights_[i];
+    }
+  }
+
+  // Sort adjacency lists (enables binary-search connectivity checks), carrying
+  // weights through the permutation, and optionally deduplicate (weights of
+  // collapsed parallel edges are summed, preserving transition probabilities).
+  auto sort_range = [&](Eid begin, Eid end) {
+    if (!weighted_) {
+      std::sort(edges.begin() + begin, edges.begin() + end);
+      return;
+    }
+    std::vector<std::pair<Vid, float>> pairs(end - begin);
+    for (Eid i = begin; i < end; ++i) {
+      pairs[i - begin] = {edges[i], edge_weights[i]};
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (Eid i = begin; i < end; ++i) {
+      edges[i] = pairs[i - begin].first;
+      edge_weights[i] = pairs[i - begin].second;
+    }
+  };
+
+  std::vector<Eid> final_offsets = offsets;
+  if (options.remove_duplicate_edges) {
+    std::vector<Vid> deduped;
+    std::vector<float> deduped_weights;
+    deduped.reserve(edges.size());
+    Eid write = 0;
+    for (Vid v = 0; v < n; ++v) {
+      Eid begin = offsets[v];
+      Eid end = offsets[v + 1];
+      sort_range(begin, end);
+      final_offsets[v] = write;
+      for (Eid i = begin; i < end;) {
+        Eid run_end = i + 1;
+        float weight_sum = weighted_ ? edge_weights[i] : 0.0f;
+        while (run_end < end && edges[run_end] == edges[i]) {
+          if (weighted_) {
+            weight_sum += edge_weights[run_end];
+          }
+          ++run_end;
+        }
+        deduped.push_back(edges[i]);
+        if (weighted_) {
+          deduped_weights.push_back(weight_sum);
+        }
+        ++write;
+        i = run_end;
+      }
+    }
+    final_offsets[n] = write;
+    edges = std::move(deduped);
+    edge_weights = std::move(deduped_weights);
+  } else {
+    for (Vid v = 0; v < n; ++v) {
+      sort_range(offsets[v], offsets[v + 1]);
+    }
+  }
+
+  sources_.clear();
+  sources_.shrink_to_fit();
+  targets_.clear();
+  targets_.shrink_to_fit();
+  weights_.clear();
+  weights_.shrink_to_fit();
+  return CsrGraph(std::move(final_offsets), std::move(edges),
+                  std::move(edge_weights));
+}
+
+}  // namespace fm

@@ -1,0 +1,56 @@
+// Mutable edge accumulator that produces an immutable CsrGraph.
+//
+// Handles the pre-processing steps the paper applies to its datasets (Table 4 note:
+// "0-degree vertices removed"): optional symmetrization, self-loop / duplicate
+// removal, and compaction of vertices with no edges. Edges may carry transition
+// weights (§2.1's general transition-probability specification); duplicate removal
+// sums the weights of collapsed parallel edges.
+#ifndef SRC_GRAPH_GRAPH_BUILDER_H_
+#define SRC_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+struct BuildOptions {
+  bool undirected = false;          // add both (u,v) and (v,u)
+  bool remove_self_loops = false;
+  bool remove_duplicate_edges = false;
+  bool remove_zero_degree = false;  // compact away vertices with no in/out edges
+};
+
+class GraphBuilder {
+ public:
+  // `num_vertices` == 0 lets the builder infer |V| = max endpoint + 1.
+  explicit GraphBuilder(Vid num_vertices = 0)
+      : num_vertices_(num_vertices), fixed_count_(num_vertices != 0) {}
+
+  // Adds a directed edge. Throws std::invalid_argument if an endpoint exceeds a
+  // caller-fixed vertex count or the weight is not positive. The graph is weighted
+  // iff any added weight differs from 1.0.
+  void AddEdge(Vid from, Vid to, float weight = 1.0f);
+
+  size_t edge_count() const { return sources_.size(); }
+
+  // Consumes the accumulated edges and builds the CSR (adjacency lists sorted
+  // ascending, weights permuted alongside). When options.remove_zero_degree is set
+  // and `removed_to_original` is non-null, it receives the compacted-ID ->
+  // original-ID mapping.
+  CsrGraph Build(const BuildOptions& options = {},
+                 std::vector<Vid>* removed_to_original = nullptr);
+
+ private:
+  Vid num_vertices_;
+  bool fixed_count_ = false;
+  bool weighted_ = false;
+  std::vector<Vid> sources_;
+  std::vector<Vid> targets_;
+  std::vector<float> weights_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,72 @@
+#include "src/graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "src/graph/degree_sort.h"
+#include "src/util/logging.h"
+
+namespace fm {
+
+DegreeBucketStats ComputeDegreeBucketStats(const CsrGraph& graph,
+                                           const std::vector<uint64_t>& visit_counts) {
+  FM_CHECK_MSG(IsDegreeSorted(graph),
+               "ComputeDegreeBucketStats requires a degree-sorted graph");
+  FM_CHECK(visit_counts.empty() || visit_counts.size() == graph.num_vertices());
+
+  DegreeBucketStats stats;
+  Vid n = graph.num_vertices();
+  if (n == 0) {
+    return stats;
+  }
+
+  uint64_t total_visits = 0;
+  for (uint64_t c : visit_counts) {
+    total_visits += c;
+  }
+
+  Vid begin = 0;
+  for (size_t b = 0; b < kDegreeBuckets; ++b) {
+    Vid end = (b + 1 == kDegreeBuckets)
+                  ? n
+                  : static_cast<Vid>(static_cast<double>(n) *
+                                     kBucketPercentiles[b] / 100.0);
+    end = std::max(end, begin);  // tiny graphs: keep buckets non-overlapping
+    uint64_t edges = 0;
+    uint64_t visits = 0;
+    for (Vid v = begin; v < end; ++v) {
+      edges += graph.degree(v);
+      if (!visit_counts.empty()) {
+        visits += visit_counts[v];
+      }
+    }
+    stats.vertex_count[b] = end - begin;
+    stats.avg_degree[b] =
+        (end > begin) ? static_cast<double>(edges) / (end - begin) : 0.0;
+    stats.edge_share[b] =
+        graph.num_edges() > 0
+            ? static_cast<double>(edges) / static_cast<double>(graph.num_edges())
+            : 0.0;
+    stats.visit_share[b] =
+        total_visits > 0
+            ? static_cast<double>(visits) / static_cast<double>(total_visits)
+            : 0.0;
+    begin = end;
+  }
+  return stats;
+}
+
+double FractionWithDegree(const CsrGraph& graph, Degree d) {
+  Vid n = graph.num_vertices();
+  if (n == 0) {
+    return 0.0;
+  }
+  Vid count = 0;
+  for (Vid v = 0; v < n; ++v) {
+    if (graph.degree(v) == d) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(n);
+}
+
+}  // namespace fm

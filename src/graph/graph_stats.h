@@ -1,0 +1,43 @@
+// Degree-percentile bucket statistics (Table 2 of the paper).
+//
+// Vertices are grouped by degree-rank percentile (<1%, 1–5%, 5–25%, 25–100%); per
+// bucket we report the average degree, share of total edges, and — when visit counts
+// from a walk are supplied — share of walker visits. These statistics motivate the
+// whole FlashMob design (§3: "the higher-degree vertices attract most of the
+// traffic").
+#ifndef SRC_GRAPH_GRAPH_STATS_H_
+#define SRC_GRAPH_GRAPH_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+inline constexpr size_t kDegreeBuckets = 4;
+// Upper percentile bound (exclusive of the previous bound) of each bucket.
+inline constexpr std::array<double, kDegreeBuckets> kBucketPercentiles = {1.0, 5.0,
+                                                                          25.0, 100.0};
+
+struct DegreeBucketStats {
+  std::array<double, kDegreeBuckets> avg_degree = {};
+  std::array<double, kDegreeBuckets> edge_share = {};    // fraction of |E|
+  std::array<double, kDegreeBuckets> visit_share = {};   // fraction of walker visits
+  std::array<Vid, kDegreeBuckets> vertex_count = {};
+};
+
+// `graph` must be degree-sorted (descending); bucket membership is by VID rank.
+// `visit_counts` is optional (empty => visit_share stays zero); when present it must
+// have one entry per vertex.
+DegreeBucketStats ComputeDegreeBucketStats(const CsrGraph& graph,
+                                           const std::vector<uint64_t>& visit_counts = {});
+
+// Fraction of vertices with degree exactly d (for the §4.2 "degree 1 / degree 2"
+// observations that motivate direct sampling).
+double FractionWithDegree(const CsrGraph& graph, Degree d);
+
+}  // namespace fm
+
+#endif  // SRC_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,34 @@
+#include "src/graph/transpose.h"
+
+#include <algorithm>
+
+namespace fm {
+
+CsrGraph Transpose(const CsrGraph& graph) {
+  Vid n = graph.num_vertices();
+  std::vector<Eid> offsets(static_cast<size_t>(n) + 1, 0);
+  for (Vid target : graph.edges()) {
+    ++offsets[target + 1];
+  }
+  for (Vid v = 0; v < n; ++v) {
+    offsets[v + 1] += offsets[v];
+  }
+  std::vector<Vid> edges(graph.num_edges());
+  std::vector<float> weights(graph.weighted() ? graph.num_edges() : 0);
+  std::vector<Eid> cursor(offsets.begin(), offsets.end() - 1);
+  for (Vid v = 0; v < n; ++v) {
+    auto nbrs = graph.neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      Eid slot = cursor[nbrs[i]]++;
+      edges[slot] = v;
+      if (graph.weighted()) {
+        weights[slot] = graph.neighbor_weights(v)[i];
+      }
+    }
+  }
+  // Sources were scanned in ascending order, so each reversed adjacency list is
+  // already sorted; weighted lists inherit the same order.
+  return CsrGraph(std::move(offsets), std::move(edges), std::move(weights));
+}
+
+}  // namespace fm

@@ -1,0 +1,18 @@
+// Graph transposition (edge reversal).
+//
+// Substrate for backward-walk applications: SimRank's meeting-time formulation
+// walks *in-edges* (apps/simrank.h), and reverse reachability / PPR-to-target
+// queries need the transpose too. Weights are carried with their edges.
+#ifndef SRC_GRAPH_TRANSPOSE_H_
+#define SRC_GRAPH_TRANSPOSE_H_
+
+#include "src/graph/csr_graph.h"
+
+namespace fm {
+
+// Returns the reverse graph: edge (u, v) becomes (v, u). O(|V| + |E|).
+CsrGraph Transpose(const CsrGraph& graph);
+
+}  // namespace fm
+
+#endif  // SRC_GRAPH_TRANSPOSE_H_

@@ -1,0 +1,73 @@
+#include "src/sampling/alias_table.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace fm {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  size_t n = weights.size();
+  if (n == 0) {
+    throw std::invalid_argument("AliasTable: empty weight vector");
+  }
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) {
+      throw std::invalid_argument("AliasTable: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("AliasTable: all weights zero");
+  }
+
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    alias_[i] = static_cast<uint32_t>(i);
+  }
+
+  // Vose's algorithm: scale weights to mean 1, split into under/over-full stacks and
+  // pair them off.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically-1.0 slots.
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+  }
+}
+
+double AliasTable::Probability(uint32_t i) const {
+  double n = static_cast<double>(prob_.size());
+  double p = prob_[i] / n;
+  for (size_t slot = 0; slot < prob_.size(); ++slot) {
+    if (alias_[slot] == i && slot != i) {
+      p += (1.0 - prob_[slot]) / n;
+    }
+  }
+  return p;
+}
+
+}  // namespace fm

@@ -1,0 +1,45 @@
+// Alias method for O(1) sampling from a discrete distribution (Walker 1977, Vose's
+// stable construction).
+//
+// Classical pre-processing technique for fast edge sampling (§6 "Related Work");
+// used here by the weighted first-order walks and by the KnightKing-like baseline.
+#ifndef SRC_SAMPLING_ALIAS_TABLE_H_
+#define SRC_SAMPLING_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fm {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds from non-negative weights; at least one weight must be positive.
+  // Throws std::invalid_argument otherwise.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  size_t size() const { return prob_.size(); }
+
+  // Draws an index with probability weight[i] / sum(weights). `rng` must expose
+  // NextBounded(uint64_t) and NextDouble().
+  template <typename Rng>
+  uint32_t Sample(Rng& rng) const {
+    uint32_t slot = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+    return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  // Exact sampling probability of index i (for tests).
+  double Probability(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;    // acceptance threshold per slot
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_SAMPLING_ALIAS_TABLE_H_

@@ -1,0 +1,25 @@
+#include "src/sampling/cdf_sampler.h"
+
+#include <stdexcept>
+
+namespace fm {
+
+void CdfSampler::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("CdfSampler: empty weight vector");
+  }
+  cdf_.resize(weights.size());
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0) {
+      throw std::invalid_argument("CdfSampler: negative weight");
+    }
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  if (acc <= 0) {
+    throw std::invalid_argument("CdfSampler: all weights zero");
+  }
+}
+
+}  // namespace fm

@@ -1,0 +1,18 @@
+#include "src/sampling/rejection.h"
+
+namespace fm {
+
+double Node2VecWeight(const CsrGraph& graph, Vid prev, Vid candidate,
+                      const Node2VecParams& params) {
+  if (candidate == prev) {
+    return 1.0 / params.p;
+  }
+  // dist(prev, candidate) == 1 iff prev has an edge to candidate; binary search on
+  // prev's sorted adjacency list.
+  if (graph.HasEdge(prev, candidate)) {
+    return 1.0;
+  }
+  return 1.0 / params.q;
+}
+
+}  // namespace fm

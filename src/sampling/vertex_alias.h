@@ -1,0 +1,57 @@
+// Per-vertex alias tables for O(1) weighted edge sampling across a whole graph.
+//
+// The classical pre-processing approach to weighted transition sampling (§6 cites
+// Walker's alias table among the techniques prior systems build on; KnightKing uses
+// alias-based sampling for static distributions). One flat (probability, alias)
+// pair per edge, indexed by the same CSR offsets as the edge array — so a weighted
+// draw costs exactly one extra random read within the same locality footprint the
+// engine already manages per VP.
+#ifndef SRC_SAMPLING_VERTEX_ALIAS_H_
+#define SRC_SAMPLING_VERTEX_ALIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+class VertexAliasTables {
+ public:
+  // Builds tables for every vertex of `graph` (which must be weighted); O(|E|).
+  explicit VertexAliasTables(const CsrGraph& graph);
+
+  // Draws a neighbor index of v (0..degree-1) with probability proportional to its
+  // edge weight. v must have degree >= 1.
+  template <typename Rng, typename Hook>
+  Degree SampleIndex(const CsrGraph& graph, Vid v, Rng& rng, Hook& hook) const {
+    Eid begin = graph.edge_begin(v);
+    Degree deg = static_cast<Degree>(graph.edge_end(v) - begin);
+    Degree slot = static_cast<Degree>(rng.NextBounded(deg));
+    hook.Load(&prob_[begin + slot], sizeof(float) + sizeof(uint32_t));
+    return rng.NextDouble() < prob_[begin + slot] ? slot : alias_[begin + slot];
+  }
+
+  // Convenience: the sampled neighbor itself.
+  template <typename Rng, typename Hook>
+  Vid SampleNeighbor(const CsrGraph& graph, Vid v, Rng& rng, Hook& hook) const {
+    Eid begin = graph.edge_begin(v);
+    Eid pick = begin + SampleIndex(graph, v, rng, hook);
+    hook.Load(graph.edges().data() + pick, sizeof(Vid));
+    return graph.edges()[pick];
+  }
+
+  uint64_t table_bytes() const {
+    return prob_.size() * (sizeof(float) + sizeof(uint32_t));
+  }
+
+ private:
+  // Flat arrays parallel to the CSR edge array.
+  std::vector<float> prob_;
+  std::vector<uint32_t> alias_;  // neighbor index within the same adjacency list
+};
+
+}  // namespace fm
+
+#endif  // SRC_SAMPLING_VERTEX_ALIAS_H_

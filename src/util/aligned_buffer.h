@@ -1,0 +1,90 @@
+// Cache-line aligned, default-uninitialized buffer.
+//
+// The walker arrays and pre-sample buffers are written before they are read, so
+// value-initializing them (as std::vector does) would double the first-touch traffic.
+// Alignment to the cache line keeps per-partition walker chunks from false sharing
+// across shuffle threads (§4.3 "FlashMob aligns per-partition walker data to cache
+// lines to avoid false sharing").
+#ifndef SRC_UTIL_ALIGNED_BUFFER_H_
+#define SRC_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "src/util/types.h"
+
+namespace fm {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t count) { Allocate(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  // (Re)allocates for `count` elements; contents are uninitialized.
+  void Allocate(size_t count) {
+    Free();
+    size_ = count;
+    if (count == 0) {
+      return;
+    }
+    size_t bytes = count * sizeof(T);
+    bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) {
+      throw std::bad_alloc();
+    }
+  }
+
+  void FillZero() {
+    if (data_ != nullptr) {
+      std::memset(data_, 0, size_ * sizeof(T));
+    }
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,102 @@
+#include "src/util/cache_info.h"
+
+#include <fstream>
+#include <string>
+
+#include "src/util/env.h"
+#include "src/util/logging.h"
+
+namespace fm {
+namespace {
+
+// Parses sysfs cache size strings like "32K" / "1024K" / "20M"; returns 0 on failure.
+uint64_t ParseSizeString(const std::string& s) {
+  if (s.empty()) {
+    return 0;
+  }
+  size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(s, &pos);
+  } catch (...) {
+    return 0;
+  }
+  uint64_t mult = 1;
+  if (pos < s.size()) {
+    char suffix = s[pos];
+    if (suffix == 'K' || suffix == 'k') {
+      mult = 1024;
+    } else if (suffix == 'M' || suffix == 'm') {
+      mult = 1024 * 1024;
+    }
+  }
+  return value * mult;
+}
+
+std::string ReadSysfsLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) {
+    return line;
+  }
+  return "";
+}
+
+CacheInfo Detect() {
+  CacheInfo info;  // paper-platform defaults
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  // Scan indices 0..4; pick the data/unified cache at each level.
+  for (int idx = 0; idx < 5; ++idx) {
+    std::string dir = base + "index" + std::to_string(idx) + "/";
+    std::string type = ReadSysfsLine(dir + "type");
+    if (type.empty() || type == "Instruction") {
+      continue;
+    }
+    std::string level = ReadSysfsLine(dir + "level");
+    uint64_t size = ParseSizeString(ReadSysfsLine(dir + "size"));
+    uint64_t ways = ParseSizeString(ReadSysfsLine(dir + "ways_of_associativity"));
+    if (size == 0) {
+      continue;
+    }
+    if (level == "1") {
+      info.l1_bytes = size;
+      if (ways) info.l1_ways = static_cast<uint32_t>(ways);
+    } else if (level == "2") {
+      info.l2_bytes = size;
+      if (ways) info.l2_ways = static_cast<uint32_t>(ways);
+    } else if (level == "3") {
+      info.l3_bytes = size;
+      if (ways) info.l3_ways = static_cast<uint32_t>(ways);
+    }
+  }
+  info.l1_bytes = static_cast<uint64_t>(EnvInt64("FM_L1_KB", static_cast<int64_t>(info.l1_bytes / 1024))) * 1024;
+  info.l2_bytes = static_cast<uint64_t>(EnvInt64("FM_L2_KB", static_cast<int64_t>(info.l2_bytes / 1024))) * 1024;
+  info.l3_bytes = static_cast<uint64_t>(EnvInt64("FM_L3_KB", static_cast<int64_t>(info.l3_bytes / 1024))) * 1024;
+  FM_LOG(kDebug) << "cache info: L1=" << info.l1_bytes << " L2=" << info.l2_bytes
+                 << " L3=" << info.l3_bytes;
+  return info;
+}
+
+}  // namespace
+
+uint64_t CacheInfo::LevelBytes(uint32_t level) const {
+  switch (level) {
+    case 1:
+      return l1_bytes;
+    case 2:
+      return l2_bytes;
+    case 3:
+      return l3_bytes;
+    default:
+      return ~uint64_t{0};
+  }
+}
+
+const CacheInfo& DetectCacheInfo() {
+  static CacheInfo info = Detect();
+  return info;
+}
+
+CacheInfo PaperCacheInfo() { return CacheInfo{}; }
+
+}  // namespace fm

@@ -1,0 +1,37 @@
+// Cache hierarchy geometry of the machine FlashMob runs on.
+//
+// The partition planner (§4.4) needs the capacities of each cache level to size
+// vertex partitions; the cache simulator needs the full geometry. Sizes are read from
+// sysfs when available and fall back to the paper's test platform (Xeon Gold 6126:
+// 32KB L1d, 1MB L2 per core, 19.75MB shared L3, exclusive LLC — §5.1).
+#ifndef SRC_UTIL_CACHE_INFO_H_
+#define SRC_UTIL_CACHE_INFO_H_
+
+#include <cstdint>
+
+namespace fm {
+
+struct CacheInfo {
+  uint64_t l1_bytes = 32 * 1024;
+  uint64_t l2_bytes = 1024 * 1024;
+  uint64_t l3_bytes = 19ull * 1024 * 1024 + 768 * 1024;  // 19.75 MB
+  uint32_t l1_ways = 8;
+  uint32_t l2_ways = 16;
+  uint32_t l3_ways = 11;
+  uint32_t line_bytes = 64;
+  bool l3_exclusive = true;  // Skylake-SP non-inclusive LLC (§2.3)
+
+  // Capacity of cache level 1/2/3; level 4 means "DRAM" and returns a large value.
+  uint64_t LevelBytes(uint32_t level) const;
+};
+
+// Geometry detected from /sys/devices/system/cpu (fields missing there keep the
+// paper-platform defaults). FM_L1_KB / FM_L2_KB / FM_L3_KB env vars override.
+const CacheInfo& DetectCacheInfo();
+
+// The paper's test platform, for deterministic tests and the cache simulator default.
+CacheInfo PaperCacheInfo();
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_CACHE_INFO_H_

@@ -1,0 +1,25 @@
+// Environment-variable based configuration knobs for benches and examples.
+//
+// Every bench binary runs at CI-friendly sizes by default; these knobs scale the
+// workloads up on a large machine without recompiling (see DESIGN.md §4).
+#ifndef SRC_UTIL_ENV_H_
+#define SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fm {
+
+// Returns the value of environment variable `name` parsed as an integer, or
+// `fallback` if unset or unparsable.
+int64_t EnvInt64(const char* name, int64_t fallback);
+
+// Returns the value of environment variable `name` parsed as a double, or `fallback`.
+double EnvDouble(const char* name, double fallback);
+
+// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_ENV_H_

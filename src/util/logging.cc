@@ -1,0 +1,66 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/util/env.h"
+
+namespace fm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_init_once;
+std::mutex g_log_mutex;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+void InitFromEnv() {
+  std::string level = EnvString("FM_LOG_LEVEL", "info");
+  if (level == "debug") {
+    g_level = LogLevel::kDebug;
+  } else if (level == "warn") {
+    g_level = LogLevel::kWarn;
+  } else if (level == "error") {
+    g_level = LogLevel::kError;
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_init_once, InitFromEnv);
+  return g_level.load();
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < GetLogLevel()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[fm %c] %s\n", LevelChar(level), message.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[fm F] %s:%d: check failed: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace fm

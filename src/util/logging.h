@@ -1,0 +1,66 @@
+// Minimal logging / check macros.
+//
+// FM_CHECK is used for programmer-error invariants (aborts with a message); functions
+// that can fail on user input return status-like values or throw std::invalid_argument
+// instead — see GraphBuilder.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fm {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+// Global minimum level; messages below it are discarded. Default: kInfo
+// (FM_LOG_LEVEL=debug lowers it).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr ("[fm I] message").
+void LogMessage(LogLevel level, const std::string& message);
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+// Stream collector so call sites can write FM_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace fm
+
+#define FM_LOG(level) ::fm::internal::LogLine(::fm::LogLevel::level)
+
+#define FM_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::fm::CheckFailed(__FILE__, __LINE__, #expr, "");                \
+    }                                                                  \
+  } while (0)
+
+#define FM_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream fm_check_stream_;                             \
+      fm_check_stream_ << msg;                                         \
+      ::fm::CheckFailed(__FILE__, __LINE__, #expr,                     \
+                        fm_check_stream_.str());                       \
+    }                                                                  \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

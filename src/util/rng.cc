@@ -1,0 +1,13 @@
+#include "src/util/rng.h"
+
+namespace fm {
+
+uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  // Mix the stream index through splitmix64 twice so that consecutive stream indices
+  // produce decorrelated seeds.
+  uint64_t s = base ^ (stream * 0xA24BAED4963EE407ULL);
+  (void)SplitMix64(s);
+  return SplitMix64(s);
+}
+
+}  // namespace fm

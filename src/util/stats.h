@@ -1,0 +1,34 @@
+// Statistics helpers used by tests (distribution checks) and benches (reporting).
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fm {
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// p in [0, 100]; linear interpolation between order statistics. Sorts a copy.
+double Percentile(std::vector<double> values, double p);
+
+// Pearson chi-square statistic for observed counts against expected counts.
+// Buckets with expected < 1e-12 must have observed == 0 (else returns +inf).
+double ChiSquareStatistic(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected);
+
+// Conservative upper quantile of the chi-square distribution used to accept/reject in
+// sampler tests: returns an approximate critical value at the given significance for
+// `dof` degrees of freedom (Wilson–Hilferty approximation).
+double ChiSquareCriticalValue(uint32_t dof, double significance);
+
+// Convenience: true when observed counts are consistent with the expected
+// distribution at the given significance level.
+bool ChiSquareTestPasses(const std::vector<uint64_t>& observed,
+                         const std::vector<double>& expected,
+                         double significance = 0.001);
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_STATS_H_

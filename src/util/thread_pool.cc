@@ -1,0 +1,118 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/env.h"
+#include "src/util/logging.h"
+
+namespace fm {
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  // The calling thread acts as worker 0; spawn the rest.
+  workers_.reserve(threads - 1);
+  for (uint32_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock,
+                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = job_epoch_;
+    }
+    RunCurrentJob(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_running_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunCurrentJob(uint32_t worker_index) {
+  const auto* job = job_;
+  uint64_t tasks = job_tasks_;
+  while (true) {
+    uint64_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= tasks) {
+      return;
+    }
+    (*job)(t, worker_index);
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t tasks,
+                             const std::function<void(uint64_t, uint32_t)>& body) {
+  if (tasks == 0) {
+    return;
+  }
+  if (workers_.empty() || tasks == 1) {
+    for (uint64_t t = 0; t < tasks; ++t) {
+      body(t, 0);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FM_CHECK_MSG(job_ == nullptr, "ParallelFor is not reentrant");
+    job_ = &body;
+    job_tasks_ = tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_running_ = static_cast<uint32_t>(workers_.size());
+    ++job_epoch_;
+  }
+  wake_cv_.notify_all();
+  RunCurrentJob(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelChunks(
+    uint64_t n, const std::function<void(uint64_t, uint64_t, uint32_t)>& body) {
+  uint32_t workers = thread_count();
+  uint64_t chunk = n / workers;
+  uint64_t rem = n % workers;
+  ParallelFor(workers, [&](uint64_t w, uint32_t worker_index) {
+    uint64_t begin = w * chunk + std::min<uint64_t>(w, rem);
+    uint64_t end = begin + chunk + (w < rem ? 1 : 0);
+    if (begin < end) {
+      body(begin, end, worker_index);
+    }
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(
+      static_cast<uint32_t>(EnvInt64("FM_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace fm

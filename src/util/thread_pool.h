@@ -1,0 +1,67 @@
+// Fixed-size thread pool with a blocking ParallelFor.
+//
+// FlashMob's sample and shuffle stages both decompose into independent tasks over
+// disjoint array regions (§4.3: "threads work on disjoint array areas, simplifying
+// synchronization and eliminating the needs for locks"), so a simple static/dynamic
+// chunked parallel-for is all the engine needs.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fm {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(uint32_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t thread_count() const { return static_cast<uint32_t>(workers_.size()) + 1; }
+
+  // Runs body(task_index, worker_index) for task_index in [0, tasks), distributing
+  // tasks dynamically (atomic counter). Blocks until all tasks complete. The calling
+  // thread participates as worker 0. Not reentrant.
+  void ParallelFor(uint64_t tasks,
+                   const std::function<void(uint64_t, uint32_t)>& body);
+
+  // Convenience: splits [0, n) into one contiguous chunk per worker and runs
+  // body(begin, end, worker_index) on each. Chunks differ in size by at most one.
+  void ParallelChunks(
+      uint64_t n,
+      const std::function<void(uint64_t, uint64_t, uint32_t)>& body);
+
+  // Returns the global pool (FM_THREADS env var, default hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(uint32_t worker_index);
+  void RunCurrentJob(uint32_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+
+  // Current job state (guarded by mutex_ for the control fields; next_task_ is the
+  // hot path and is atomic).
+  const std::function<void(uint64_t, uint32_t)>* job_ = nullptr;
+  uint64_t job_tasks_ = 0;
+  uint64_t job_epoch_ = 0;
+  std::atomic<uint64_t> next_task_{0};
+  uint32_t workers_running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,44 @@
+// Monotonic wall-clock timing helpers.
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fm {
+
+// Stopwatch over the steady clock. Accumulates across Start/Stop pairs.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  // Returns the elapsed time of the current lap and folds it into the total.
+  double Stop() {
+    double lap = Elapsed();
+    total_ += lap;
+    return lap;
+  }
+
+  // Seconds since the last Start().
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const { return Elapsed() * 1e9; }
+  double TotalSeconds() const { return total_; }
+  void Reset() {
+    total_ = 0;
+    Start();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  double total_ = 0;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_TIMER_H_

@@ -1,0 +1,32 @@
+// Core scalar types shared across the FlashMob library.
+#ifndef SRC_UTIL_TYPES_H_
+#define SRC_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fm {
+
+// Vertex identifier. The paper keeps walker state compact (bare VIDs, §4.3) so the
+// walker arrays are half the size of explicit <walker, vertex> pairs; 32 bits covers
+// every graph in the evaluation (largest: YahooWeb, 720M vertices).
+using Vid = uint32_t;
+
+// Edge index into a CSR edge array. The paper's largest graph has 6.64B edges, which
+// overflows 32 bits, so edge offsets are 64-bit.
+using Eid = uint64_t;
+
+// Walker index. Up to 10|V| walkers are launched in total (§5.1).
+using Wid = uint64_t;
+
+// Degree of a vertex.
+using Degree = uint32_t;
+
+inline constexpr Vid kInvalidVid = ~Vid{0};
+
+// Cache line size assumed throughout for alignment and for the cache simulator.
+inline constexpr size_t kCacheLineBytes = 64;
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_TYPES_H_

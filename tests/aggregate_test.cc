@@ -1,0 +1,84 @@
+#include "src/apps/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/powerlaw_graph.h"
+#include "src/gen/uniform_degree.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(AggregateTest, AverageDegreeOnRegularGraph) {
+  // Regular graph: no degree bias to correct; estimate must be near-exact.
+  CsrGraph g = GenerateUniformDegreeGraph(5000, 6, 3);
+  AggregateOptions options;
+  options.walkers = 2000;
+  double est = EstimateAverageDegree(g, options);
+  EXPECT_NEAR(est, 6.0, 0.1);
+}
+
+TEST(AggregateTest, AverageDegreeOnSkewedGraph) {
+  // Undirected-ized power-law graph (stationary distribution ~ degree holds
+  // exactly for undirected walks).
+  PowerLawConfig config;
+  config.degrees.num_vertices = 8000;
+  config.degrees.avg_degree = 6;
+  config.degrees.alpha = 0.7;
+  CsrGraph directed = GeneratePowerLawGraph(config);
+  GraphBuilder b(directed.num_vertices());
+  for (Vid v = 0; v < directed.num_vertices(); ++v) {
+    for (Vid u : directed.neighbors(v)) {
+      b.AddEdge(v, u);
+      b.AddEdge(u, v);
+    }
+  }
+  CsrGraph g = DegreeSort(b.Build({.remove_duplicate_edges = true})).graph;
+  double truth = static_cast<double>(g.num_edges()) / g.num_vertices();
+
+  AggregateOptions options;
+  options.walkers = 4000;
+  options.steps = 80;
+  double est = EstimateAverageDegree(g, options);
+  EXPECT_NEAR(est, truth, truth * 0.15);
+}
+
+TEST(AggregateTest, VertexCountEstimate) {
+  // Needs enough samples for collisions: small graph, many walkers.
+  CsrGraph g = GenerateUniformDegreeGraph(2000, 8, 5);
+  AggregateOptions options;
+  options.walkers = 3000;
+  options.steps = 72;
+  double est = EstimateVertexCount(g, options);
+  EXPECT_NEAR(est, 2000.0, 2000.0 * 0.25);
+}
+
+TEST(AggregateTest, VertexCountWithoutCollisionsReturnsZero) {
+  // Huge graph, tiny sample: no collisions expected => no estimate (0).
+  PowerLawConfig config;
+  config.degrees.num_vertices = 500000;
+  config.degrees.avg_degree = 8;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  AggregateOptions options;
+  options.walkers = 4;
+  options.steps = 24;
+  options.burn_in = 16;
+  double est = EstimateVertexCount(g, options);
+  EXPECT_GE(est, 0.0);  // usually 0; never negative or NaN
+  EXPECT_FALSE(std::isnan(est));
+}
+
+TEST(AggregateTest, EstimatorIsSeedStable) {
+  CsrGraph g = GenerateUniformDegreeGraph(3000, 5, 7);
+  AggregateOptions options;
+  options.walkers = 1500;
+  options.seed = 42;
+  double a = EstimateAverageDegree(g, options);
+  double b = EstimateAverageDegree(g, options);
+  EXPECT_DOUBLE_EQ(a, b);  // deterministic given the seed
+}
+
+}  // namespace
+}  // namespace fm

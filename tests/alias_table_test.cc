@@ -1,0 +1,81 @@
+#include "src/sampling/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace fm {
+namespace {
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(AliasTableTest, SingleItem) {
+  AliasTable table(std::vector<double>{3.0});
+  XorShiftRng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTableTest, ExactProbabilities) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  double total = 10.0;
+  double sum = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(table.Probability(i), weights[i] / total, 1e-12);
+    sum += table.Probability(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  XorShiftRng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_NE(table.Sample(rng), 1u);
+  }
+}
+
+class AliasDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasDistributionTest, MatchesTargetDistribution) {
+  const std::vector<double>& weights = GetParam();
+  AliasTable table(weights);
+  XorShiftRng rng(7);
+  const uint64_t draws = 1 << 20;
+  std::vector<uint64_t> observed(weights.size(), 0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++observed[table.Sample(rng)];
+  }
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+  std::vector<double> expected;
+  for (double w : weights) {
+    expected.push_back(w / total * draws);
+  }
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AliasDistributionTest,
+    ::testing::Values(std::vector<double>{1, 1, 1, 1},
+                      std::vector<double>{1, 2, 3, 4, 5},
+                      std::vector<double>{100, 1, 1, 1},
+                      std::vector<double>{0.001, 0.999},
+                      std::vector<double>{5, 0, 5, 0, 5},
+                      std::vector<double>(257, 1.0)));
+
+}  // namespace
+}  // namespace fm

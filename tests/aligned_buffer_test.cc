@@ -1,0 +1,65 @@
+#include "src/util/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace fm {
+namespace {
+
+TEST(AlignedBufferTest, AlignmentIsCacheLine) {
+  for (size_t count : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<uint32_t> buf(count);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+    EXPECT_EQ(buf.size(), count);
+  }
+}
+
+TEST(AlignedBufferTest, EmptyBuffer) {
+  AlignedBuffer<uint64_t> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<uint64_t> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBufferTest, ReadWriteAndFillZero) {
+  AlignedBuffer<uint64_t> buf(128);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = i * 3;
+  }
+  for (size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], i * 3);
+  }
+  buf.FillZero();
+  for (uint64_t v : buf) {
+    ASSERT_EQ(v, 0u);
+  }
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16);
+  a[0] = 42;
+  int* ptr = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), ptr);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, ReallocateReplacesContents) {
+  AlignedBuffer<int> buf(4);
+  buf.Allocate(1024);
+  EXPECT_EQ(buf.size(), 1024u);
+  buf[1023] = 1;
+  EXPECT_EQ(buf[1023], 1);
+}
+
+}  // namespace
+}  // namespace fm

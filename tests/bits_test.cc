@@ -1,0 +1,66 @@
+#include "src/util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace fm {
+namespace {
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitsTest, NextPrevPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(PrevPowerOfTwo(1), 1u);
+  EXPECT_EQ(PrevPowerOfTwo(5), 4u);
+  EXPECT_EQ(PrevPowerOfTwo(8), 8u);
+}
+
+TEST(BitsTest, Log2) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(1024), 10u);
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(1025), 11u);
+}
+
+TEST(BitsTest, CeilDivAndAlign) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+}
+
+// Property sweep: round trips between the helpers.
+class BitsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsPropertyTest, Consistency) {
+  uint64_t x = GetParam();
+  EXPECT_LE(PrevPowerOfTwo(x), x);
+  EXPECT_GE(NextPowerOfTwo(x), x);
+  EXPECT_TRUE(IsPowerOfTwo(PrevPowerOfTwo(x)));
+  EXPECT_TRUE(IsPowerOfTwo(NextPowerOfTwo(x)));
+  EXPECT_EQ(Log2Floor(PrevPowerOfTwo(x)), Log2Floor(x));
+  EXPECT_EQ(uint64_t{1} << Log2Ceil(x), NextPowerOfTwo(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 9, 100, 1023, 1024,
+                                           1025, 123456789, 1ull << 40));
+
+}  // namespace
+}  // namespace fm

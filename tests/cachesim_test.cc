@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/cachesim/cache_level.h"
+#include "src/cachesim/hierarchy.h"
+#include "src/cachesim/latency_model.h"
+#include "src/util/rng.h"
+
+namespace fm {
+namespace {
+
+TEST(CacheLevelTest, HitAfterInsert) {
+  CacheLevel level({1024, 4, 64});  // 16 lines, 4 sets
+  EXPECT_FALSE(level.Lookup(5));
+  level.Insert(5, nullptr);
+  EXPECT_TRUE(level.Lookup(5));
+  EXPECT_TRUE(level.Contains(5));
+}
+
+TEST(CacheLevelTest, LruEvictionOrder) {
+  // 1 set x 2 ways: inserting three lines mapping to the same set evicts the LRU.
+  CacheLevel level({128, 2, 64});
+  ASSERT_EQ(level.sets(), 1u);
+  level.Insert(0, nullptr);
+  level.Insert(1, nullptr);
+  EXPECT_TRUE(level.Lookup(0));  // touch 0: now 1 is LRU
+  uint64_t evicted = 0;
+  EXPECT_TRUE(level.Insert(2, &evicted));
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_TRUE(level.Contains(0));
+  EXPECT_FALSE(level.Contains(1));
+}
+
+TEST(CacheLevelTest, InvalidateRemoves) {
+  CacheLevel level({1024, 4, 64});
+  level.Insert(9, nullptr);
+  EXPECT_TRUE(level.Invalidate(9));
+  EXPECT_FALSE(level.Contains(9));
+  EXPECT_FALSE(level.Invalidate(9));
+}
+
+TEST(CacheLevelTest, SetIsolation) {
+  CacheLevel level({512, 2, 64});  // 4 sets
+  // Lines 0 and 4 map to set 0; line 1 maps to set 1 and must be unaffected.
+  level.Insert(1, nullptr);
+  level.Insert(0, nullptr);
+  level.Insert(4, nullptr);
+  level.Insert(8, nullptr);  // evicts within set 0 only
+  EXPECT_TRUE(level.Contains(1));
+}
+
+CacheInfo TinyGeometry(bool exclusive) {
+  CacheInfo info;
+  info.l1_bytes = 1024;   // 16 lines
+  info.l2_bytes = 4096;   // 64 lines
+  info.l3_bytes = 16384;  // 256 lines
+  info.l1_ways = 2;
+  info.l2_ways = 4;
+  info.l3_ways = 4;
+  info.l3_exclusive = exclusive;
+  return info;
+}
+
+TEST(CacheHierarchyTest, ColdMissThenHits) {
+  CacheHierarchy sim(TinyGeometry(true));
+  EXPECT_EQ(sim.Access(0, 4), HitLevel::kDram);
+  EXPECT_EQ(sim.Access(0, 4), HitLevel::kL1);
+  EXPECT_EQ(sim.Access(32, 4), HitLevel::kL1);  // same line
+  EXPECT_EQ(sim.counters().accesses, 3u);
+  EXPECT_EQ(sim.counters().hits[0], 2u);
+  EXPECT_EQ(sim.counters().dram_lines, 1u);
+}
+
+TEST(CacheHierarchyTest, CountersConservation) {
+  CacheHierarchy sim(TinyGeometry(true));
+  XorShiftRng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    // 4-byte aligned 4-byte loads never straddle a line.
+    sim.Access(rng.NextBounded(1 << 18) * 4, 4);
+  }
+  const CacheCounters& c = sim.counters();
+  EXPECT_EQ(c.accesses, 20000u);
+  EXPECT_EQ(c.hits[0] + c.misses[0], c.accesses);
+  EXPECT_EQ(c.hits[1] + c.misses[1], c.misses[0]);
+  EXPECT_EQ(c.hits[2] + c.misses[2], c.misses[1]);
+  EXPECT_EQ(c.hits[3], c.misses[2]);
+  EXPECT_EQ(c.dram_lines, c.misses[2]);
+}
+
+TEST(CacheHierarchyTest, ExclusiveLlcDisjointness) {
+  CacheHierarchy sim(TinyGeometry(true));
+  XorShiftRng rng(5);
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t addr = rng.NextBounded(1 << 16);
+    addrs.push_back(addr);
+    sim.Access(addr, 4);
+  }
+  for (uint64_t addr : addrs) {
+    ASSERT_TRUE(sim.L2L3Disjoint(addr / 64));
+  }
+}
+
+TEST(CacheHierarchyTest, ExclusiveL3HoldsL2Victims) {
+  CacheHierarchy sim(TinyGeometry(true));
+  // Fill well past L2 capacity (64 lines) but within L3; early lines must be
+  // servable from L3 (not DRAM) on re-access.
+  for (uint64_t line = 0; line < 128; ++line) {
+    sim.Access(line * 64, 4);
+  }
+  sim.ResetCounters();
+  uint64_t l3_hits = 0;
+  for (uint64_t line = 0; line < 128; ++line) {
+    if (sim.Access(line * 64, 4) == HitLevel::kL3) {
+      ++l3_hits;
+    }
+  }
+  EXPECT_GT(l3_hits, 0u);
+  EXPECT_EQ(sim.counters().dram_lines, 0u);  // everything still cached somewhere
+}
+
+TEST(CacheHierarchyTest, WorkingSetSweepShowsCapacityCliffs) {
+  // Random accesses within working sets of growing size: the DRAM "hit" fraction
+  // must be ~0 while the set fits in total cache capacity, then grow.
+  for (bool exclusive : {true, false}) {
+    CacheInfo info = TinyGeometry(exclusive);
+    auto dram_fraction = [&](uint64_t ws_bytes) {
+      CacheHierarchy sim(info);
+      XorShiftRng rng(7);
+      for (int i = 0; i < 30000; ++i) {
+        sim.Access(rng.NextBounded(ws_bytes), 4);
+      }
+      return static_cast<double>(sim.counters().hits[3]) /
+             static_cast<double>(sim.counters().accesses);
+    };
+    double small = dram_fraction(2048);
+    double huge = dram_fraction(1 << 22);
+    EXPECT_LT(small, 0.05) << "exclusive=" << exclusive;
+    EXPECT_GT(huge, 0.5) << "exclusive=" << exclusive;
+  }
+}
+
+TEST(CacheHierarchyTest, ExclusiveBeatsInclusiveOnMidSizeWorkingSet) {
+  // The §2.3 argument: exclusive L2+L3 give more effective capacity. Pick a working
+  // set between l3 and l2+l3.
+  uint64_t ws = 18 * 1024;
+  auto dram_fraction = [&](bool exclusive) {
+    CacheHierarchy sim(TinyGeometry(exclusive));
+    XorShiftRng rng(11);
+    for (int i = 0; i < 60000; ++i) {
+      sim.Access(rng.NextBounded(ws), 4);
+    }
+    return static_cast<double>(sim.counters().hits[3]) /
+           static_cast<double>(sim.counters().accesses);
+  };
+  EXPECT_LT(dram_fraction(true), dram_fraction(false));
+}
+
+TEST(CacheHierarchyTest, MultiLineAccessTouchesEachLine) {
+  CacheHierarchy sim(TinyGeometry(true));
+  sim.Access(0, 256);  // 4 lines
+  EXPECT_EQ(sim.counters().accesses, 4u);
+  EXPECT_EQ(sim.counters().dram_lines, 4u);
+}
+
+TEST(LatencyModelTest, BoundTimesAndTotals) {
+  LatencyModel model;
+  CacheCounters c;
+  c.accesses = 100;
+  c.hits[0] = 50;
+  c.hits[1] = 30;
+  c.hits[2] = 15;
+  c.hits[3] = 5;
+  double total = model.TotalNs(c);
+  EXPECT_NEAR(total, 50 * 0.77 + 30 * 0.95 + 15 * 2.60 + 5 * 18.35, 1e-9);
+  EXPECT_NEAR(model.BoundNs(c, 3), 5 * 18.35, 1e-9);
+  EXPECT_NEAR(model.BoundNs(c, 0) + model.BoundNs(c, 1) + model.BoundNs(c, 2) +
+                  model.BoundNs(c, 3),
+              total, 1e-9);
+}
+
+TEST(LatencyModelTest, Table1ReferenceShape) {
+  // The paper's measured ladder: sequential < random < pointer-chase at every
+  // level, and latencies grow down the hierarchy.
+  for (int level = 0; level < 5; ++level) {
+    EXPECT_LE(Table1Reference::kNs[0][level], Table1Reference::kNs[1][level]);
+    EXPECT_LE(Table1Reference::kNs[1][level], Table1Reference::kNs[2][level]);
+  }
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    for (int level = 1; level < 5; ++level) {
+      EXPECT_LE(Table1Reference::kNs[pattern][level - 1] * 0.9,
+                Table1Reference::kNs[pattern][level]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,64 @@
+#include "src/sampling/cdf_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/sampling/alias_table.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace fm {
+namespace {
+
+TEST(CdfSamplerTest, RejectsInvalidWeights) {
+  EXPECT_THROW(CdfSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(CdfSampler(std::vector<double>{0, 0}), std::invalid_argument);
+  EXPECT_THROW(CdfSampler(std::vector<double>{-1, 2}), std::invalid_argument);
+}
+
+TEST(CdfSamplerTest, ProbabilitiesMatchWeights) {
+  std::vector<double> weights{2, 3, 5};
+  CdfSampler sampler(weights);
+  EXPECT_NEAR(sampler.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(sampler.Probability(1), 0.3, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2), 0.5, 1e-12);
+}
+
+TEST(CdfSamplerTest, DistributionMatches) {
+  std::vector<double> weights{1, 4, 2, 8, 1};
+  CdfSampler sampler(weights);
+  XorShiftRng rng(13);
+  const uint64_t draws = 1 << 20;
+  std::vector<uint64_t> observed(weights.size(), 0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++observed[sampler.Sample(rng)];
+  }
+  std::vector<double> expected;
+  for (double w : weights) {
+    expected.push_back(w / 16.0 * draws);
+  }
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(CdfSamplerTest, AgreesWithAliasTable) {
+  // Same weights, both samplers, distributions must agree with each other.
+  std::vector<double> weights{3, 1, 7, 2, 9, 5};
+  CdfSampler cdf(weights);
+  AliasTable alias(weights);
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(cdf.Probability(i), alias.Probability(i), 1e-9);
+  }
+}
+
+TEST(CdfSamplerTest, ZeroWeightNeverSampled) {
+  CdfSampler sampler(std::vector<double>{1, 0, 1});
+  XorShiftRng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_NE(sampler.Sample(rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fm

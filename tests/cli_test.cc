@@ -1,0 +1,80 @@
+// End-to-end smoke tests of the fmwalk CLI binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef FMWALK_PATH
+#error "FMWALK_PATH must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "fm_cli_test";
+    fs::create_directories(dir_);
+    // A small ring + chords graph with weights.
+    std::ofstream out(dir_ / "edges.txt");
+    out << "# demo graph\n";
+    for (int v = 0; v < 100; ++v) {
+      out << v << ' ' << (v + 1) % 100 << " 1.0\n";
+      out << v << ' ' << (v + 7) % 100 << " 2.5\n";
+    }
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int Run(const std::string& args) {
+    std::string cmd = std::string(FMWALK_PATH) + " " + args + " 2>/dev/null";
+    return std::system(cmd.c_str());
+  }
+
+  size_t LineCount(const fs::path& p) {
+    std::ifstream in(p);
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lines;
+    }
+    return lines;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, DeepWalkWritesPaths) {
+  auto out = dir_ / "walks.txt";
+  int rc = Run("--graph=" + (dir_ / "edges.txt").string() +
+               " --steps=5 --rounds=2 --out=" + out.string());
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(LineCount(out), 200u);  // rounds * |V| walks, one per line
+}
+
+TEST_F(CliTest, Node2VecPairsAndStats) {
+  auto pairs = dir_ / "pairs.txt";
+  int rc = Run("--graph=" + (dir_ / "edges.txt").string() +
+               " --algo=node2vec --p=0.5 --q=2 --steps=4 --rounds=1 --stats "
+               "--pairs=" + pairs.string());
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(LineCount(pairs), 400u);  // |V| walkers * 4 sampled edges
+}
+
+TEST_F(CliTest, WeightedWalkRuns) {
+  int rc = Run("--graph=" + (dir_ / "edges.txt").string() +
+               " --weighted --steps=3 --rounds=1");
+  EXPECT_EQ(rc, 0);
+}
+
+TEST_F(CliTest, RejectsBadUsage) {
+  EXPECT_NE(Run(""), 0);                        // no input
+  EXPECT_NE(Run("--graph=a --csr=b"), 0);       // both inputs
+  EXPECT_NE(Run("--graph=a --algo=simrank"), 0);  // unknown algo
+  EXPECT_NE(Run("--graph=" + (dir_ / "missing.txt").string()), 0);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fm {
+namespace {
+
+AnalyticCostModel PaperModel() { return AnalyticCostModel(PaperCacheInfo()); }
+
+TEST(AnalyticCostModelTest, WorkingSets) {
+  AnalyticCostModel model = PaperModel();
+  // PS: cursor + one active line per vertex, degree-independent.
+  EXPECT_EQ(model.WorkingSetBytes(1000, 8, SamplePolicy::kPS),
+            model.WorkingSetBytes(1000, 512, SamplePolicy::kPS));
+  // DS: all edges + offsets.
+  EXPECT_EQ(model.WorkingSetBytes(1000, 8, SamplePolicy::kDS), 1000u * 8 * 4 + 8000u);
+  EXPECT_GT(model.WorkingSetBytes(1000, 512, SamplePolicy::kDS),
+            model.WorkingSetBytes(1000, 8, SamplePolicy::kDS));
+}
+
+TEST(AnalyticCostModelTest, LevelClassification) {
+  AnalyticCostModel model = PaperModel();
+  EXPECT_EQ(model.LevelFor(16 * 1024), 1);
+  EXPECT_EQ(model.LevelFor(512 * 1024), 2);
+  EXPECT_EQ(model.LevelFor(10 * 1024 * 1024), 3);
+  EXPECT_EQ(model.LevelFor(1ull << 30), 4);
+}
+
+TEST(AnalyticCostModelTest, EffectiveLatencyMonotoneInWorkingSet) {
+  AnalyticCostModel model = PaperModel();
+  double prev = 0;
+  for (uint64_t ws = 1024; ws <= (1ull << 30); ws *= 4) {
+    double lat = model.EffectiveRandomNs(ws);
+    EXPECT_GE(lat, prev * 0.999) << ws;
+    prev = lat;
+  }
+  EXPECT_NEAR(model.EffectiveRandomNs(1024), 0.77, 0.01);     // L1 random
+  EXPECT_GT(model.EffectiveRandomNs(1ull << 32), 15.0);       // ~DRAM random
+}
+
+TEST(AnalyticCostModelTest, FigureSixObservation1_FasterCachesWin) {
+  // Both policies benefit from fitting the working set into faster caches.
+  AnalyticCostModel model = PaperModel();
+  for (SamplePolicy policy : {SamplePolicy::kPS, SamplePolicy::kDS}) {
+    double small = model.SampleNsPerStep(400, 16, 1.0, policy);
+    double large = model.SampleNsPerStep(4'000'000, 16, 1.0, policy);
+    EXPECT_LT(small, large);
+  }
+}
+
+TEST(AnalyticCostModelTest, FigureSixObservation2_PsLikesHighDegree) {
+  AnalyticCostModel model = PaperModel();
+  // PS gets cheaper as degree rises (same VP vertex count / working set).
+  double ps_low = model.SampleNsPerStep(4096, 16, 1.0, SamplePolicy::kPS);
+  double ps_high = model.SampleNsPerStep(4096, 1024, 1.0, SamplePolicy::kPS);
+  EXPECT_LT(ps_high, ps_low);
+  // DS is degree-insensitive once the working set level is fixed: compare two
+  // degrees whose working sets stay within L2.
+  double ds_a = model.SampleNsPerStep(2048, 16, 1.0, SamplePolicy::kDS);
+  double ds_b = model.SampleNsPerStep(2048, 32, 1.0, SamplePolicy::kDS);
+  EXPECT_NEAR(ds_a, ds_b, ds_a * 0.25);
+}
+
+TEST(AnalyticCostModelTest, FigureSixObservation3_DensityHelpsInCache) {
+  AnalyticCostModel model = PaperModel();
+  for (SamplePolicy policy : {SamplePolicy::kPS, SamplePolicy::kDS}) {
+    double sparse = model.SampleNsPerStep(4096, 64, 0.25, policy);
+    double dense = model.SampleNsPerStep(4096, 64, 1.0, policy);
+    EXPECT_LE(dense, sparse);
+  }
+}
+
+TEST(AnalyticCostModelTest, FigureSixObservation4_PsDramIsWorst) {
+  AnalyticCostModel model = PaperModel();
+  uint64_t huge = 64'000'000;  // PS working set ~4.3 GB: deep DRAM territory
+  double ps_dram = model.SampleNsPerStep(huge, 64, 1.0, SamplePolicy::kPS);
+  double ps_l2 = model.SampleNsPerStep(8192, 64, 1.0, SamplePolicy::kPS);
+  double ds_l2 = model.SampleNsPerStep(2048, 16, 1.0, SamplePolicy::kDS);
+  EXPECT_GT(ps_dram, ps_l2 * 2);
+  EXPECT_GT(ps_dram, ds_l2 * 2);
+}
+
+TEST(AnalyticCostModelTest, PsBeatsDsForHighDegreeVertices) {
+  // The crossover the planner exploits: hub partitions should prefer PS, tail
+  // degree-1/2 partitions should prefer DS.
+  AnalyticCostModel model = PaperModel();
+  double ps_hub = model.SampleNsPerStep(1 << 14, 1024, 1.0, SamplePolicy::kPS);
+  double ds_hub = model.SampleNsPerStep(1 << 14, 1024, 1.0, SamplePolicy::kDS);
+  EXPECT_LT(ps_hub, ds_hub);
+  double ps_tail = model.SampleNsPerStep(1 << 14, 1, 1.0, SamplePolicy::kPS);
+  double ds_tail = model.SampleNsPerStep(1 << 14, 1, 1.0, SamplePolicy::kDS);
+  EXPECT_LT(ds_tail, ps_tail);
+}
+
+TEST(AnalyticCostModelTest, ThreadsShrinkL3Share) {
+  AnalyticCostModel solo(PaperCacheInfo(), LatencyModel{}, 1);
+  AnalyticCostModel crowded(PaperCacheInfo(), LatencyModel{}, 12);
+  // A working set that fits a whole L3 but not 1/12th of it.
+  uint64_t ws = 10 * 1024 * 1024;
+  EXPECT_LT(solo.EffectiveRandomNs(ws), crowded.EffectiveRandomNs(ws));
+}
+
+}  // namespace
+}  // namespace fm

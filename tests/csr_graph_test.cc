@@ -1,0 +1,140 @@
+#include "src/graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(CsrGraphTest, SmallGraphStructure) {
+  CsrGraph g = SmallGraph();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+  g.CheckValid();
+}
+
+TEST(CsrGraphTest, HasEdge) {
+  CsrGraph g = SmallGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(3, 3));
+  EXPECT_TRUE(g.AdjacencySorted());
+}
+
+TEST(CsrGraphTest, MaxDegreeAndBytes) {
+  CsrGraph g = SmallGraph();
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_EQ(g.CsrBytes(), 5 * sizeof(Eid) + 7 * sizeof(Vid));
+}
+
+TEST(CsrGraphTest, EmptyAndSingleVertex) {
+  GraphBuilder b(1);
+  CsrGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  g.CheckValid();
+}
+
+TEST(GraphBuilderTest, InfersVertexCount) {
+  GraphBuilder b;
+  b.AddEdge(5, 9);
+  CsrGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(GraphBuilderTest, FixedCountRejectsOutOfRange) {
+  GraphBuilder b(4);
+  EXPECT_THROW(b.AddEdge(0, 4), std::invalid_argument);
+  EXPECT_THROW(b.AddEdge(4, 0), std::invalid_argument);
+  b.AddEdge(3, 0);  // in range is fine
+}
+
+TEST(GraphBuilderTest, UndirectedDoublesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  CsrGraph g = b.Build({.undirected = true});
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(GraphBuilderTest, SelfLoopRemoval) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 2);
+  CsrGraph g = b.Build({.remove_self_loops = true});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DuplicateRemoval) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  CsrGraph g = b.Build({.remove_duplicate_edges = true});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, DuplicatesKeptByDefault) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  CsrGraph g = b.Build();
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphBuilderTest, ZeroDegreeCompaction) {
+  // Vertices 1 and 3 are untouched; they must be compacted away.
+  GraphBuilder b(5);
+  b.AddEdge(0, 2);
+  b.AddEdge(4, 0);
+  std::vector<Vid> new_to_old;
+  CsrGraph g = b.Build({.remove_zero_degree = true}, &new_to_old);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(new_to_old.size(), 3u);
+  EXPECT_EQ(new_to_old[0], 0u);
+  EXPECT_EQ(new_to_old[1], 2u);
+  EXPECT_EQ(new_to_old[2], 4u);
+  // Edge 0->2 becomes 0->1, edge 4->0 becomes 2->0.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+}
+
+TEST(GraphBuilderTest, ZeroDegreeCompactionCountsSelfLoopRemoval) {
+  // Vertex 1's only incident edge is a removed self loop => compacted away too.
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 2);
+  CsrGraph g = b.Build({.remove_self_loops = true, .remove_zero_degree = true});
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraphTest, CtorRejectsMismatchedSizes) {
+  EXPECT_DEATH(CsrGraph({0, 2}, {1}), "mismatch");
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,91 @@
+#include "src/graph/degree_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/gen/powerlaw_graph.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(DegreeSortTest, ProducesDescendingDegrees) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 2000;
+  config.degrees.avg_degree = 8;
+  config.shuffle_labels = true;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  EXPECT_FALSE(IsDegreeSorted(g));  // labels were shuffled
+
+  DegreeSortedGraph sorted = DegreeSort(g);
+  EXPECT_TRUE(IsDegreeSorted(sorted.graph));
+  sorted.graph.CheckValid();
+}
+
+TEST(DegreeSortTest, MappingsAreInversePermutations) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 500;
+  config.degrees.avg_degree = 4;
+  config.shuffle_labels = true;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  DegreeSortedGraph sorted = DegreeSort(g);
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sorted.old_to_new[sorted.new_to_old[v]], v);
+    EXPECT_EQ(sorted.new_to_old[sorted.old_to_new[v]], v);
+  }
+}
+
+TEST(DegreeSortTest, PreservesEdgeStructure) {
+  CsrGraph g = SmallGraph();
+  DegreeSortedGraph sorted = DegreeSort(g);
+  EXPECT_EQ(sorted.graph.num_edges(), g.num_edges());
+  // Every original edge must exist under the new labels, and vice versa.
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    for (Vid u : g.neighbors(v)) {
+      EXPECT_TRUE(
+          sorted.graph.HasEdge(sorted.old_to_new[v], sorted.old_to_new[u]));
+    }
+  }
+  for (Vid v = 0; v < sorted.graph.num_vertices(); ++v) {
+    for (Vid u : sorted.graph.neighbors(v)) {
+      EXPECT_TRUE(g.HasEdge(sorted.new_to_old[v], sorted.new_to_old[u]));
+    }
+  }
+}
+
+TEST(DegreeSortTest, StableWithinEqualDegrees) {
+  // Ring: every degree equal; counting sort must keep original order (stability).
+  CsrGraph g = RingGraph(16);
+  DegreeSortedGraph sorted = DegreeSort(g);
+  for (Vid v = 0; v < 16; ++v) {
+    EXPECT_EQ(sorted.new_to_old[v], v);
+  }
+}
+
+TEST(DegreeSortTest, AdjacencyStaysSorted) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 300;
+  config.degrees.avg_degree = 5;
+  config.shuffle_labels = true;
+  DegreeSortedGraph sorted = DegreeSort(GeneratePowerLawGraph(config));
+  EXPECT_TRUE(sorted.graph.AdjacencySorted());
+}
+
+TEST(DegreeSortTest, EmptyGraph) {
+  DegreeSortedGraph sorted = DegreeSort(CsrGraph({0}, {}));
+  EXPECT_EQ(sorted.graph.num_vertices(), 0u);
+}
+
+TEST(DegreeSortTest, AlreadySortedIsIdentity) {
+  CsrGraph g = SmallSortedGraph();
+  ASSERT_TRUE(IsDegreeSorted(g));
+  DegreeSortedGraph sorted = DegreeSort(g);
+  std::vector<Vid> identity(g.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(sorted.new_to_old, identity);
+}
+
+}  // namespace
+}  // namespace fm

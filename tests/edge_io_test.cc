@@ -1,0 +1,112 @@
+#include "src/graph/edge_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/gen/powerlaw_graph.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+class EdgeIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "fm_edge_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(EdgeIoTest, TextRoundTrip) {
+  CsrGraph original = SmallGraph();
+  SaveEdgeListText(original, Path("g.txt"));
+  CsrGraph loaded = LoadEdgeListText(Path("g.txt"));
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_TRUE(Identical(loaded, original));
+}
+
+TEST_F(EdgeIoTest, TextHandlesCommentsAndBlankLines) {
+  std::ofstream out(Path("c.txt"));
+  out << "# comment\n\n% other comment\n0 1\n1 0\n";
+  out.close();
+  CsrGraph g = LoadEdgeListText(Path("c.txt"));
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(EdgeIoTest, TextRejectsMalformedLine) {
+  std::ofstream out(Path("bad.txt"));
+  out << "0 1\nnot numbers\n";
+  out.close();
+  EXPECT_THROW(LoadEdgeListText(Path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeIoTest, TextMissingFileThrows) {
+  EXPECT_THROW(LoadEdgeListText(Path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeIoTest, BinaryRoundTrip) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 5000;
+  config.degrees.avg_degree = 6;
+  CsrGraph original = GeneratePowerLawGraph(config);
+  SaveCsrBinary(original, Path("g.csr"));
+  CsrGraph loaded = LoadCsrBinary(Path("g.csr"));
+  EXPECT_TRUE(Identical(loaded, original));
+}
+
+TEST_F(EdgeIoTest, MappedLoadMatchesCopyingLoad) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 3000;
+  config.degrees.avg_degree = 8;
+  CsrGraph original = GeneratePowerLawGraph(config);
+  SaveCsrBinary(original, Path("m.csr"));
+  CsrGraph mapped = LoadCsrBinaryMapped(Path("m.csr"));
+  EXPECT_TRUE(mapped.memory_mapped());
+  EXPECT_FALSE(original.memory_mapped());
+  EXPECT_TRUE(Identical(mapped, original));
+  // Copies of a mapped graph share the mapping and stay valid.
+  CsrGraph copy = mapped;
+  EXPECT_TRUE(copy.memory_mapped());
+  EXPECT_TRUE(Identical(copy, original));
+  EXPECT_TRUE(copy.HasEdge(0, copy.neighbors(0)[0]));
+}
+
+TEST_F(EdgeIoTest, MappedLoadRejectsCorruptFiles) {
+  {
+    std::ofstream out(Path("bad2.csr"), std::ios::binary);
+    out << "tiny";
+  }
+  EXPECT_THROW(LoadCsrBinaryMapped(Path("bad2.csr")), std::runtime_error);
+  CsrGraph original = SmallGraph();
+  SaveCsrBinary(original, Path("t2.csr"));
+  std::filesystem::resize_file(Path("t2.csr"),
+                               std::filesystem::file_size(Path("t2.csr")) - 4);
+  EXPECT_THROW(LoadCsrBinaryMapped(Path("t2.csr")), std::runtime_error);
+}
+
+TEST_F(EdgeIoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(Path("bad.csr"), std::ios::binary);
+  out << "garbage data that is not a csr file at all";
+  out.close();
+  EXPECT_THROW(LoadCsrBinary(Path("bad.csr")), std::runtime_error);
+}
+
+TEST_F(EdgeIoTest, BinaryRejectsTruncatedFile) {
+  CsrGraph original = SmallGraph();
+  SaveCsrBinary(original, Path("t.csr"));
+  auto size = std::filesystem::file_size(Path("t.csr"));
+  std::filesystem::resize_file(Path("t.csr"), size - 8);
+  EXPECT_THROW(LoadCsrBinary(Path("t.csr")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,40 @@
+#include "src/util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fm {
+namespace {
+
+TEST(EnvTest, Int64ParsesAndFallsBack) {
+  ::setenv("FM_TEST_INT", "42", 1);
+  EXPECT_EQ(EnvInt64("FM_TEST_INT", 7), 42);
+  ::setenv("FM_TEST_INT", "-13", 1);
+  EXPECT_EQ(EnvInt64("FM_TEST_INT", 7), -13);
+  ::setenv("FM_TEST_INT", "abc", 1);
+  EXPECT_EQ(EnvInt64("FM_TEST_INT", 7), 7);
+  ::setenv("FM_TEST_INT", "", 1);
+  EXPECT_EQ(EnvInt64("FM_TEST_INT", 7), 7);
+  ::unsetenv("FM_TEST_INT");
+  EXPECT_EQ(EnvInt64("FM_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, DoubleParsesAndFallsBack) {
+  ::setenv("FM_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FM_TEST_DBL", 1.0), 2.5);
+  ::setenv("FM_TEST_DBL", "junk", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FM_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("FM_TEST_DBL");
+  EXPECT_DOUBLE_EQ(EnvDouble("FM_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(EnvTest, StringFallsBack) {
+  ::setenv("FM_TEST_STR", "hello", 1);
+  EXPECT_EQ(EnvString("FM_TEST_STR", "d"), "hello");
+  ::unsetenv("FM_TEST_STR");
+  EXPECT_EQ(EnvString("FM_TEST_STR", "d"), "d");
+}
+
+}  // namespace
+}  // namespace fm

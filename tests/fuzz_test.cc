@@ -1,0 +1,129 @@
+// Randomized end-to-end property tests: random graphs (weights, self-loops,
+// duplicates, dead ends, shuffled labels) x random walk specifications, checked
+// against the engine's global invariants. Each parameter is an independent seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/engine.h"
+#include "src/graph/degree_sort.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace fm {
+namespace {
+
+struct FuzzCase {
+  CsrGraph graph;
+  WalkSpec spec;
+  EngineOptions options;
+};
+
+FuzzCase MakeCase(uint64_t seed) {
+  XorShiftRng rng(DeriveSeed(0xF022, seed));
+  FuzzCase c;
+
+  // Random graph: 50..2000 vertices, avg degree 1..12, random features.
+  Vid n = 50 + static_cast<Vid>(rng.NextBounded(1950));
+  uint64_t edges = n * (1 + rng.NextBounded(12));
+  bool weighted = rng.NextBounded(2) == 0;
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < edges; ++e) {
+    Vid u = static_cast<Vid>(rng.NextBounded(n));
+    Vid v = static_cast<Vid>(rng.NextBounded(n));  // self loops allowed
+    float w = weighted ? 0.25f + static_cast<float>(rng.NextBounded(16)) : 1.0f;
+    builder.AddEdge(u, v, w);
+    if (rng.NextBounded(4) == 0) {
+      builder.AddEdge(u, v, w);  // duplicates
+    }
+  }
+  BuildOptions build;
+  build.remove_self_loops = rng.NextBounded(2) == 0;
+  build.remove_duplicate_edges = rng.NextBounded(2) == 0;
+  c.graph = DegreeSort(builder.Build(build)).graph;
+
+  // Random walk spec.
+  c.spec.steps = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+  c.spec.num_walkers = 100 + rng.NextBounded(20000);
+  c.spec.seed = seed * 77 + 5;
+  c.spec.keep_paths = rng.NextBounded(2) == 0;
+  c.spec.track_identity = c.spec.keep_paths || rng.NextBounded(2) == 0;
+  c.spec.use_edge_weights = c.graph.weighted() && rng.NextBounded(2) == 0;
+  if (rng.NextBounded(3) == 0) {
+    c.spec.stop_probability = 0.1 + 0.3 * rng.NextDouble();
+  }
+  if (rng.NextBounded(3) == 0) {
+    c.spec.algorithm = WalkAlgorithm::kNode2Vec;
+    c.spec.node2vec = {0.25 + rng.NextDouble() * 3, 0.25 + rng.NextDouble() * 3};
+    c.spec.use_edge_weights = false;  // unsupported combination
+  }
+  if (rng.NextBounded(4) == 0) {
+    // Seeded starts from a random subset.
+    uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+    for (uint32_t i = 0; i < k; ++i) {
+      c.spec.start_vertices.push_back(
+          static_cast<Vid>(rng.NextBounded(c.graph.num_vertices())));
+    }
+  }
+  if (rng.NextBounded(3) == 0) {
+    c.options.dram_budget_bytes = 1 << 18;  // force multiple episodes
+  }
+  return c;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, EngineInvariantsHold) {
+  FuzzCase c = MakeCase(GetParam());
+  FlashMobEngine engine(c.graph, c.options);
+  WalkResult result = engine.Run(c.spec);
+
+  // Step accounting: never more than walkers x steps; exact when nothing dies.
+  uint64_t max_steps =
+      static_cast<uint64_t>(c.spec.num_walkers) * c.spec.steps;
+  EXPECT_LE(result.stats.total_steps, max_steps);
+  if (c.spec.stop_probability == 0) {
+    EXPECT_EQ(result.stats.total_steps, max_steps);
+  }
+
+  // Visit accounting: starts + live steps; steps whose walker terminated produce
+  // no visit, so the equality is exact only without stochastic termination.
+  uint64_t visits = 0;
+  for (uint64_t v : result.visit_counts) {
+    visits += v;
+  }
+  EXPECT_LE(visits, result.stats.total_steps + c.spec.num_walkers);
+  if (c.spec.stop_probability == 0) {
+    EXPECT_EQ(visits, result.stats.total_steps + c.spec.num_walkers);
+  }
+
+  // Per-VP accounting matches the total.
+  uint64_t vp_sum = 0;
+  for (uint64_t v : result.stats.vp_walker_steps) {
+    vp_sum += v;
+  }
+  EXPECT_EQ(vp_sum, result.stats.total_steps);
+
+  // Paths, when kept, are valid walks and complete.
+  if (c.spec.keep_paths) {
+    EXPECT_EQ(result.paths.num_walkers(), c.spec.num_walkers);
+    EXPECT_TRUE(result.paths.ValidAgainst(c.graph));
+    if (!c.spec.start_vertices.empty()) {
+      for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
+        ASSERT_NE(std::find(c.spec.start_vertices.begin(),
+                            c.spec.start_vertices.end(), result.paths.At(w, 0)),
+                  c.spec.start_vertices.end());
+      }
+    }
+  }
+
+  // Determinism: the same case reruns identically.
+  FlashMobEngine engine2(c.graph, c.options);
+  WalkResult result2 = engine2.Run(c.spec);
+  EXPECT_EQ(result.visit_counts, result2.visit_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/gen/dataset_registry.h"
+#include "src/gen/powerlaw_graph.h"
+#include "src/gen/rmat.h"
+#include "src/gen/toy_graphs.h"
+#include "src/gen/uniform_degree.h"
+#include "src/graph/degree_sort.h"
+
+namespace fm {
+namespace {
+
+TEST(PowerLawGraphTest, StructureAndSorting) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 5000;
+  config.degrees.avg_degree = 10;
+  config.degrees.alpha = 0.8;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  EXPECT_TRUE(IsDegreeSorted(g));
+  EXPECT_TRUE(g.AdjacencySorted());
+  g.CheckValid();
+  // Every vertex alive (min_degree = 1).
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(g.degree(v), 1u);
+  }
+}
+
+TEST(PowerLawGraphTest, DeterministicForSeed) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 1000;
+  config.degrees.avg_degree = 6;
+  config.seed = 99;
+  CsrGraph a = GeneratePowerLawGraph(config);
+  CsrGraph b = GeneratePowerLawGraph(config);
+  EXPECT_TRUE(Identical(a, b));
+}
+
+TEST(PowerLawGraphTest, ShuffleLabelsPreservesDegreeMultiset) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 2000;
+  config.degrees.avg_degree = 8;
+  CsrGraph sorted = GeneratePowerLawGraph(config);
+  config.shuffle_labels = true;
+  CsrGraph shuffled = GeneratePowerLawGraph(config);
+  std::vector<Degree> ds, dh;
+  for (Vid v = 0; v < 2000; ++v) {
+    ds.push_back(sorted.degree(v));
+    dh.push_back(shuffled.degree(v));
+  }
+  std::sort(ds.begin(), ds.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(ds, dh);
+}
+
+TEST(PowerLawGraphTest, LocalityBiasesTargetsNearby) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 50000;
+  config.degrees.avg_degree = 8;
+  config.degrees.alpha = 0.3;
+  config.locality = 0.9;
+  config.locality_window = 256;
+  CsrGraph local = GeneratePowerLawGraph(config);
+  config.locality = 0.0;
+  CsrGraph global = GeneratePowerLawGraph(config);
+  auto near_fraction = [](const CsrGraph& g, Vid window) {
+    uint64_t near = 0;
+    for (Vid v = 0; v < g.num_vertices(); ++v) {
+      for (Vid u : g.neighbors(v)) {
+        near += (u > v ? u - v : v - u) <= window;
+      }
+    }
+    return static_cast<double>(near) / g.num_edges();
+  };
+  EXPECT_GT(near_fraction(local, 256), near_fraction(global, 256) + 0.5);
+}
+
+TEST(RmatTest, SizesAndValidity) {
+  RmatConfig config;
+  config.scale = 10;
+  config.edge_factor = 8;
+  CsrGraph g = GenerateRmatGraph(config);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 8192u);
+  g.CheckValid();
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatConfig config;
+  config.scale = 12;
+  config.edge_factor = 16;
+  CsrGraph g = GenerateRmatGraph(config);
+  DegreeSortedGraph sorted = DegreeSort(g);
+  // Top 1% of vertices should own far more than 1% of edges.
+  Vid top = sorted.graph.num_vertices() / 100;
+  Eid top_edges = sorted.graph.offsets()[top];
+  EXPECT_GT(static_cast<double>(top_edges) / sorted.graph.num_edges(), 0.05);
+}
+
+TEST(UniformDegreeTest, ExactRegularity) {
+  CsrGraph g = GenerateUniformDegreeGraph(500, 7, 3);
+  for (Vid v = 0; v < 500; ++v) {
+    ASSERT_EQ(g.degree(v), 7u);
+  }
+  g.CheckValid();
+}
+
+TEST(UniformDegreeTest, TargetUniverseRestriction) {
+  CsrGraph g = GenerateUniformDegreeGraph(1000, 4, 5, /*target_universe=*/100);
+  for (Vid t : g.edges()) {
+    ASSERT_LT(t, 100u);
+  }
+}
+
+TEST(ToyGraphTest, FitsByteBudget) {
+  for (uint64_t budget : {32ull * 1024, 1024ull * 1024, 16ull * 1024 * 1024}) {
+    CsrGraph g = GenerateCacheSizedGraph(budget, 16, 1);
+    EXPECT_LE(g.CsrBytes(), budget);
+    // Not absurdly small either: at least 60% utilized.
+    EXPECT_GE(g.CsrBytes(), budget * 6 / 10);
+  }
+}
+
+TEST(DatasetRegistryTest, HasFivePaperGraphs) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "YT");
+  EXPECT_EQ(all[4].name, "YH");
+  EXPECT_EQ(DatasetByName("TW").full_name, "Twitter");
+  EXPECT_THROW(DatasetByName("nope"), std::invalid_argument);
+}
+
+TEST(DatasetRegistryTest, LoadGeneratesAndCaches) {
+  auto cache = std::filesystem::temp_directory_path() / "fm_ds_cache_test";
+  std::filesystem::remove_all(cache);
+  ::setenv("FM_DATASET_CACHE", cache.c_str(), 1);
+  CsrGraph g = LoadDataset(DatasetByName("YT"), /*scale=*/0.05);
+  EXPECT_GT(g.num_vertices(), 1000u);
+  EXPECT_TRUE(IsDegreeSorted(g));
+  // Second load comes from the cache file and must be identical.
+  CsrGraph g2 = LoadDataset(DatasetByName("YT"), 0.05);
+  EXPECT_TRUE(Identical(g, g2));
+  ::unsetenv("FM_DATASET_CACHE");
+  std::filesystem::remove_all(cache);
+}
+
+TEST(DatasetRegistryTest, AverageDegreeTracksPaper) {
+  const DatasetSpec& yt = DatasetByName("YT");
+  CsrGraph g = LoadDataset(yt, 0.05);
+  double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  double paper_avg =
+      static_cast<double>(yt.paper_edges) / static_cast<double>(yt.paper_vertices);
+  EXPECT_NEAR(avg, paper_avg, paper_avg * 0.25);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,88 @@
+#include "src/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/powerlaw_graph.h"
+#include "src/graph/degree_sort.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(GraphStatsTest, BucketsCoverAllVertices) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 10000;
+  config.degrees.avg_degree = 8;
+  CsrGraph g = GeneratePowerLawGraph(config);  // generated degree-sorted
+  ASSERT_TRUE(IsDegreeSorted(g));
+  DegreeBucketStats stats = ComputeDegreeBucketStats(g);
+  Vid total = 0;
+  double edge_share = 0;
+  for (size_t b = 0; b < kDegreeBuckets; ++b) {
+    total += stats.vertex_count[b];
+    edge_share += stats.edge_share[b];
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_NEAR(edge_share, 1.0, 1e-9);
+}
+
+TEST(GraphStatsTest, AvgDegreeDecreasesAcrossBuckets) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 10000;
+  config.degrees.avg_degree = 16;
+  config.degrees.alpha = 0.8;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  DegreeBucketStats stats = ComputeDegreeBucketStats(g);
+  EXPECT_GT(stats.avg_degree[0], stats.avg_degree[1]);
+  EXPECT_GT(stats.avg_degree[1], stats.avg_degree[2]);
+  EXPECT_GT(stats.avg_degree[2], stats.avg_degree[3]);
+}
+
+TEST(GraphStatsTest, VisitShareTracksCounts) {
+  CsrGraph g = SmallSortedGraph();
+  // Visits concentrated on the highest-degree vertex (bucket boundaries on a
+  // 4-vertex graph: 1% and 5% of 4 round to 0 -> first two buckets empty, 25% -> 1).
+  std::vector<uint64_t> visits{10, 5, 3, 2};
+  DegreeBucketStats stats = ComputeDegreeBucketStats(g, visits);
+  double total_share = 0;
+  for (size_t b = 0; b < kDegreeBuckets; ++b) {
+    total_share += stats.visit_share[b];
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  // Last bucket holds vertices 1..3 => 10/20 visits in bucket 2 (vertex 0).
+  EXPECT_NEAR(stats.visit_share[2], 0.5, 1e-9);
+  EXPECT_NEAR(stats.visit_share[3], 0.5, 1e-9);
+}
+
+TEST(GraphStatsTest, RequiresSortedGraph) {
+  GraphBuilder b(3);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 1);
+  b.AddEdge(0, 2);
+  CsrGraph g = b.Build();  // degree(2)=2 > degree(0)=1, not descending
+  EXPECT_DEATH(ComputeDegreeBucketStats(g), "degree-sorted");
+}
+
+TEST(GraphStatsTest, FractionWithDegree) {
+  CsrGraph g = SmallSortedGraph();  // degrees 3,2,1,1
+  EXPECT_DOUBLE_EQ(FractionWithDegree(g, 1), 0.5);
+  EXPECT_DOUBLE_EQ(FractionWithDegree(g, 2), 0.25);
+  EXPECT_DOUBLE_EQ(FractionWithDegree(g, 7), 0.0);
+}
+
+TEST(GraphStatsTest, SkewedGraphConcentratesEdgesInTopBucket) {
+  // Mirrors the Table 2 observation: with alpha ~0.85 the top 1% of vertices hold
+  // roughly half the edges.
+  PowerLawConfig config;
+  config.degrees.num_vertices = 50000;
+  config.degrees.avg_degree = 20;
+  config.degrees.alpha = 0.85;
+  config.degrees.max_degree = 50000 / 16;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  DegreeBucketStats stats = ComputeDegreeBucketStats(g);
+  EXPECT_GT(stats.edge_share[0], 0.30);
+  EXPECT_LT(stats.edge_share[3], 0.30);
+}
+
+}  // namespace
+}  // namespace fm

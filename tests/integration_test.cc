@@ -1,0 +1,147 @@
+// End-to-end tests across the full pipeline: dataset stand-in -> degree sort ->
+// plan -> walk -> output, plus cross-engine agreement on realistic graphs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/fm.h"
+
+namespace fm {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = std::filesystem::temp_directory_path() / "fm_integration_cache";
+    ::setenv("FM_DATASET_CACHE", cache_dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("FM_DATASET_CACHE");
+    std::filesystem::remove_all(cache_dir_);
+  }
+  std::filesystem::path cache_dir_;
+};
+
+TEST_F(IntegrationTest, FullDeepWalkPipelineOnDatasetStandIn) {
+  CsrGraph g = LoadDataset(DatasetByName("YT"), /*scale=*/0.1);
+  ASSERT_TRUE(IsDegreeSorted(g));
+
+  FlashMobEngine engine(g);
+  WalkSpec spec = DeepWalkSpec(g.num_vertices(), /*steps=*/10, /*rounds=*/1);
+  WalkResult result = engine.Run(spec);
+  EXPECT_TRUE(result.paths.ValidAgainst(g));
+  EXPECT_EQ(result.stats.total_steps,
+            static_cast<uint64_t>(g.num_vertices()) * 10);
+
+  // Table 2's key property end to end: hot vertices dominate visits.
+  DegreeBucketStats stats = ComputeDegreeBucketStats(g, result.visit_counts);
+  EXPECT_GT(stats.visit_share[0] + stats.visit_share[1], 0.30);
+  EXPECT_LT(stats.visit_share[3], 0.45);
+  // Visit share tracks edge share (the Table 2 correlation).
+  for (size_t bucket = 0; bucket < kDegreeBuckets; ++bucket) {
+    EXPECT_NEAR(stats.visit_share[bucket], stats.edge_share[bucket], 0.12)
+        << bucket;
+  }
+}
+
+TEST_F(IntegrationTest, ShuffledInputGraphIsHandledViaDegreeSort) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 20000;
+  config.degrees.avg_degree = 8;
+  config.shuffle_labels = true;
+  CsrGraph raw = GeneratePowerLawGraph(config);
+  DegreeSortedGraph sorted = DegreeSort(raw);
+
+  FlashMobEngine engine(sorted.graph);
+  WalkSpec spec;
+  spec.num_walkers = 10000;
+  spec.steps = 8;
+  WalkResult result = engine.Run(spec);
+  ASSERT_TRUE(result.paths.ValidAgainst(sorted.graph));
+
+  // Paths map back to valid walks on the original labels.
+  for (Wid w = 0; w < 50; ++w) {
+    auto path = result.paths.Path(w);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      Vid from = sorted.new_to_old[path[i]];
+      Vid to = sorted.new_to_old[path[i + 1]];
+      if (from != to) {
+        ASSERT_TRUE(raw.HasEdge(from, to));
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, FlashMobMatchesKnightKingOnDataset) {
+  CsrGraph g = LoadDataset(DatasetByName("YT"), 0.05);
+  WalkSpec spec;
+  spec.num_walkers = static_cast<Wid>(g.num_vertices()) * 4;
+  spec.steps = 10;
+  spec.keep_paths = false;
+
+  FlashMobEngine fmob(g);
+  auto fm_counts = fmob.Run(spec).visit_counts;
+  KnightKingEngine knk(g);
+  auto knk_counts = knk.Run(spec).visit_counts;
+
+  // Rank correlation on the hottest 1% of vertices.
+  uint64_t fm_total = 0, knk_total = 0;
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    fm_total += fm_counts[v];
+    knk_total += knk_counts[v];
+  }
+  Vid top = std::max<Vid>(g.num_vertices() / 100, 20);
+  for (Vid v = 0; v < top; ++v) {
+    double a = static_cast<double>(fm_counts[v]) / fm_total;
+    double b = static_cast<double>(knk_counts[v]) / knk_total;
+    ASSERT_NEAR(a, b, std::max(a, b) * 0.25 + 1e-5) << v;
+  }
+}
+
+TEST_F(IntegrationTest, InstrumentedHeadlineComparison) {
+  // Fig 1b in miniature: per-step L2/L3 misses, FlashMob vs KnightKing, on a graph
+  // much bigger than the simulated cache.
+  CsrGraph g = LoadDataset(DatasetByName("YT"), 0.1);
+  WalkSpec spec;
+  spec.num_walkers = 20000;
+  spec.steps = 3;
+  spec.keep_paths = false;
+
+  CacheInfo tiny;
+  tiny.l1_bytes = 8 * 1024;
+  tiny.l2_bytes = 64 * 1024;
+  tiny.l3_bytes = 512 * 1024;
+
+  CacheHierarchy fm_sim(tiny), knk_sim(tiny);
+  FlashMobEngine fmob(g);
+  WalkResult fm_run = fmob.RunInstrumented(spec, &fm_sim);
+  KnightKingEngine knk(g);
+  WalkResult knk_run = knk.RunInstrumented(spec, &knk_sim);
+
+  double fm_l3_miss = static_cast<double>(fm_sim.counters().misses[2]) /
+                      fm_run.stats.total_steps;
+  double knk_l3_miss = static_cast<double>(knk_sim.counters().misses[2]) /
+                       knk_run.stats.total_steps;
+  EXPECT_LT(fm_l3_miss, knk_l3_miss);
+}
+
+TEST_F(IntegrationTest, EdgeStreamFeedsDownstreamConsumer) {
+  // The "stream sampled edges to the GPU" output mode: every streamed pair is an
+  // edge and the count matches live walker-steps.
+  CsrGraph g = LoadDataset(DatasetByName("YT"), 0.02);
+  FlashMobEngine engine(g);
+  WalkSpec spec;
+  spec.num_walkers = 5000;
+  spec.steps = 5;
+  WalkResult result = engine.Run(spec);
+  uint64_t streamed = 0;
+  result.paths.StreamEdges([&](Vid from, Vid to) {
+    ++streamed;
+    ASSERT_TRUE(g.HasEdge(from, to) || from == to);
+  });
+  EXPECT_EQ(streamed, result.stats.total_steps);
+}
+
+}  // namespace
+}  // namespace fm

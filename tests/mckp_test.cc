@@ -1,0 +1,110 @@
+#include "src/core/mckp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace fm {
+namespace {
+
+TEST(MckpTest, EmptyProblem) {
+  MckpSolution s = SolveMckp({}, 10);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.total_cost, 0.0);
+}
+
+TEST(MckpTest, SingleClassPicksCheapestFeasible) {
+  std::vector<std::vector<MckpItem>> classes{{{5.0, 8}, {3.0, 20}, {9.0, 1}}};
+  MckpSolution s = SolveMckp(classes, 10);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.chosen[0], 0u);  // cost 3 item is too heavy; cost 5/weight 8 wins
+  EXPECT_DOUBLE_EQ(s.total_cost, 5.0);
+}
+
+TEST(MckpTest, InfeasibleWhenEveryItemTooHeavy) {
+  std::vector<std::vector<MckpItem>> classes{{{1.0, 5}}, {{1.0, 6}}};
+  MckpSolution s = SolveMckp(classes, 10);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(MckpTest, TightWeightLimit) {
+  std::vector<std::vector<MckpItem>> classes{{{1.0, 5}}, {{2.0, 5}}};
+  MckpSolution s = SolveMckp(classes, 10);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.total_weight, 10u);
+  EXPECT_DOUBLE_EQ(s.total_cost, 3.0);
+}
+
+TEST(MckpTest, TradesCostAcrossClasses) {
+  // Class 0: cheap-heavy vs costly-light; class 1 likewise. Budget forces exactly
+  // one heavy pick; DP must put the heavy pick where it saves the most.
+  std::vector<std::vector<MckpItem>> classes{
+      {{0.0, 8}, {10.0, 2}},  // saving 10 by going heavy
+      {{0.0, 8}, {1.0, 2}},   // saving 1 by going heavy
+  };
+  MckpSolution s = SolveMckp(classes, 10);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.chosen[0], 0u);
+  EXPECT_EQ(s.chosen[1], 1u);
+  EXPECT_DOUBLE_EQ(s.total_cost, 1.0);
+}
+
+TEST(MckpTest, ZeroWeightItems) {
+  std::vector<std::vector<MckpItem>> classes{{{7.0, 0}}, {{1.0, 0}, {0.5, 3}}};
+  MckpSolution s = SolveMckp(classes, 2);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.total_cost, 8.0);
+}
+
+class MckpRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpRandomTest, DpMatchesBruteForce) {
+  XorShiftRng rng(1000 + GetParam());
+  uint32_t num_classes = 2 + static_cast<uint32_t>(rng.NextBounded(4));
+  uint32_t weight_limit = 5 + static_cast<uint32_t>(rng.NextBounded(20));
+  std::vector<std::vector<MckpItem>> classes(num_classes);
+  for (auto& cls : classes) {
+    uint32_t items = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+    for (uint32_t i = 0; i < items; ++i) {
+      cls.push_back({static_cast<double>(rng.NextBounded(100)),
+                     static_cast<uint32_t>(rng.NextBounded(12))});
+    }
+  }
+  MckpSolution dp = SolveMckp(classes, weight_limit);
+  MckpSolution bf = SolveMckpBruteForce(classes, weight_limit);
+  ASSERT_EQ(dp.feasible, bf.feasible);
+  if (dp.feasible) {
+    EXPECT_DOUBLE_EQ(dp.total_cost, bf.total_cost);
+    EXPECT_LE(dp.total_weight, weight_limit);
+    // Verify the reconstruction: chosen items re-sum to the reported totals.
+    double cost = 0;
+    uint32_t weight = 0;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      cost += classes[c][dp.chosen[c]].cost;
+      weight += classes[c][dp.chosen[c]].weight;
+    }
+    EXPECT_DOUBLE_EQ(cost, dp.total_cost);
+    EXPECT_EQ(weight, dp.total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MckpRandomTest, ::testing::Range(0, 40));
+
+TEST(MckpTest, LargeInstanceRunsFast) {
+  // The paper's scale: ~64-128 classes, P=2048, ~30 items each; the DP must be
+  // effectively instant (paper reports 0.01s).
+  XorShiftRng rng(9);
+  std::vector<std::vector<MckpItem>> classes(128);
+  for (auto& cls : classes) {
+    for (int i = 0; i < 30; ++i) {
+      cls.push_back({static_cast<double>(rng.NextBounded(1000)),
+                     static_cast<uint32_t>(1 + rng.NextBounded(64))});
+    }
+  }
+  MckpSolution s = SolveMckp(classes, 2048);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_LE(s.total_weight, 2048u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,123 @@
+// Metropolis-Hastings walk tests: transition validity and the headline property —
+// a uniform stationary distribution on undirected graphs regardless of degree skew.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/gen/powerlaw_graph.h"
+#include "src/graph/degree_sort.h"
+#include "src/util/stats.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+// Undirected skewed graph (symmetrized power-law).
+CsrGraph UndirectedSkewed(Vid n) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = n;
+  config.degrees.avg_degree = 6;
+  config.degrees.alpha = 0.8;
+  config.degrees.max_degree = n / 8;
+  CsrGraph directed = GeneratePowerLawGraph(config);
+  GraphBuilder b(n);
+  for (Vid v = 0; v < n; ++v) {
+    for (Vid u : directed.neighbors(v)) {
+      if (u != v) {
+        b.AddEdge(v, u);
+        b.AddEdge(u, v);
+      }
+    }
+  }
+  return DegreeSort(b.Build({.remove_duplicate_edges = true})).graph;
+}
+
+TEST(MetropolisTest, StepsAreEdgesOrStays) {
+  CsrGraph g = UndirectedSkewed(2000);
+  FlashMobEngine engine(g);
+  WalkSpec spec;
+  spec.algorithm = WalkAlgorithm::kMetropolisHastings;
+  spec.steps = 8;
+  spec.num_walkers = 5000;
+  WalkResult result = engine.Run(spec);
+  for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
+    for (uint32_t s = 0; s < 8; ++s) {
+      Vid from = result.paths.At(w, s);
+      Vid to = result.paths.At(w, s + 1);
+      ASSERT_TRUE(to == from || g.HasEdge(from, to)) << from << "->" << to;
+    }
+  }
+}
+
+TEST(MetropolisTest, StationaryDistributionIsUniformDespiteSkew) {
+  // The whole point of MH: on this heavily skewed graph the plain walk
+  // concentrates on hubs, while the MH walk's long-run visit distribution is
+  // uniform over vertices.
+  CsrGraph g = UndirectedSkewed(300);
+  WalkSpec spec;
+  spec.steps = 200;  // long walks: forget the (uniform-over-edges) start bias
+  spec.num_walkers = 30000;
+  spec.keep_paths = true;
+  spec.seed = 5;
+
+  spec.algorithm = WalkAlgorithm::kMetropolisHastings;
+  FlashMobEngine engine(g);
+  WalkResult mh = engine.Run(spec);
+  // Sample only the final position of each walker (near-stationary, independent
+  // across walkers).
+  std::vector<uint64_t> mh_counts(g.num_vertices(), 0);
+  uint64_t mh_total = 0;
+  for (Wid w = 0; w < mh.paths.num_walkers(); ++w) {
+    ++mh_counts[mh.paths.At(w, spec.steps)];
+    ++mh_total;
+  }
+  std::vector<double> expected(g.num_vertices(),
+                               static_cast<double>(mh_total) / g.num_vertices());
+  // Uniformity at a loose significance (MH mixes slower than the plain walk).
+  EXPECT_TRUE(ChiSquareTestPasses(mh_counts, expected, 1e-6));
+
+  // Contrast: the plain DeepWalk final-position distribution is degree-biased and
+  // decisively fails the same uniformity test.
+  spec.algorithm = WalkAlgorithm::kDeepWalk;
+  FlashMobEngine engine2(g);
+  WalkResult dw = engine2.Run(spec);
+  std::vector<uint64_t> dw_counts(g.num_vertices(), 0);
+  for (Wid w = 0; w < dw.paths.num_walkers(); ++w) {
+    ++dw_counts[dw.paths.At(w, spec.steps)];
+  }
+  EXPECT_FALSE(ChiSquareTestPasses(dw_counts, expected, 1e-6));
+}
+
+TEST(MetropolisTest, RejectsWeightedSpec) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 2.0f);
+  b.AddEdge(1, 0, 1.0f);
+  CsrGraph g = b.Build();
+  FlashMobEngine engine(g);
+  WalkSpec spec;
+  spec.algorithm = WalkAlgorithm::kMetropolisHastings;
+  spec.use_edge_weights = true;
+  spec.num_walkers = 10;
+  spec.steps = 1;
+  EXPECT_DEATH(engine.Run(spec), "first-order uniform");
+}
+
+TEST(MetropolisTest, RegularGraphNeverRejects) {
+  // Equal degrees => acceptance ratio 1 => behaves exactly like DeepWalk (always
+  // moves along an edge).
+  CsrGraph g = RingGraph(64);
+  FlashMobEngine engine(g);
+  WalkSpec spec;
+  spec.algorithm = WalkAlgorithm::kMetropolisHastings;
+  spec.steps = 10;
+  spec.num_walkers = 1000;
+  WalkResult result = engine.Run(spec);
+  for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
+    for (uint32_t s = 0; s < 10; ++s) {
+      ASSERT_EQ(result.paths.At(w, s + 1),
+                (result.paths.At(w, s) + 1) % 64);  // degree-1 ring: must move
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fm

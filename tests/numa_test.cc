@@ -1,0 +1,83 @@
+#include "src/core/numa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/powerlaw_graph.h"
+
+namespace fm {
+namespace {
+
+CsrGraph SkewedGraph(Vid n) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = n;
+  config.degrees.avg_degree = 8;
+  config.degrees.alpha = 0.8;
+  return GeneratePowerLawGraph(config);
+}
+
+WalkSpec Spec(Wid walkers, uint32_t steps) {
+  WalkSpec spec;
+  spec.num_walkers = walkers;
+  spec.steps = steps;
+  spec.keep_paths = false;
+  return spec;
+}
+
+TEST(NumaTest, PartitionedModeHasRemoteStreamsOnly) {
+  CsrGraph g = SkewedGraph(20000);
+  SocketTopology topo;
+  topo.sockets = 2;
+  topo.dram_per_socket_bytes = 64ull << 20;
+  NumaRunResult r =
+      RunNumaWalk(g, Spec(40000, 5), NumaMode::kPartitioned, topo);
+  EXPECT_GT(r.per_step_ns, 0);
+  EXPECT_DOUBLE_EQ(r.remote_stream_fraction, 0.5);
+}
+
+TEST(NumaTest, ReplicatedModeHasNoRemoteAccesses) {
+  CsrGraph g = SkewedGraph(20000);
+  SocketTopology topo;
+  topo.sockets = 2;
+  topo.dram_per_socket_bytes = 64ull << 20;
+  NumaRunResult r = RunNumaWalk(g, Spec(40000, 5), NumaMode::kReplicated, topo);
+  EXPECT_DOUBLE_EQ(r.remote_stream_fraction, 0.0);
+}
+
+TEST(NumaTest, PartitionedDoublesWalkerBudget) {
+  // Fig 12b: mode P nearly doubles walker density relative to mode R because the
+  // graph is stored once instead of per socket. Use a DRAM budget small enough to
+  // bind.
+  CsrGraph g = SkewedGraph(50000);
+  SocketTopology topo;
+  topo.sockets = 2;
+  topo.dram_per_socket_bytes = g.CsrBytes() * 2;
+  WalkSpec spec = Spec(1 << 22, 3);  // more walkers than any budget allows
+
+  NumaRunResult p = RunNumaWalk(g, spec, NumaMode::kPartitioned, topo);
+  NumaRunResult r = RunNumaWalk(g, spec, NumaMode::kReplicated, topo);
+  EXPECT_GT(p.walkers_per_episode, r.walkers_per_episode);
+  double ratio = static_cast<double>(p.walkers_per_episode) /
+                 static_cast<double>(r.walkers_per_episode);
+  EXPECT_GT(ratio, 1.5);
+}
+
+TEST(NumaTest, SingleSocketDegenerates) {
+  CsrGraph g = SkewedGraph(5000);
+  SocketTopology topo;
+  topo.sockets = 1;
+  topo.dram_per_socket_bytes = 256ull << 20;
+  NumaRunResult r = RunNumaWalk(g, Spec(5000, 3), NumaMode::kPartitioned, topo);
+  EXPECT_DOUBLE_EQ(r.remote_stream_fraction, 0.0);
+}
+
+TEST(NumaTest, RejectsGraphLargerThanDram) {
+  CsrGraph g = SkewedGraph(50000);
+  SocketTopology topo;
+  topo.sockets = 2;
+  topo.dram_per_socket_bytes = g.CsrBytes() / 4;
+  EXPECT_DEATH(RunNumaWalk(g, Spec(1000, 2), NumaMode::kReplicated, topo),
+               "exceeds");
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,91 @@
+#include "src/core/path_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+PathSet MakePaths() {
+  // 2 walkers, 3 steps. Walker 0: 0->1->2->3; walker 1: 3->0->1->kInvalid.
+  PathSet paths(2, 3);
+  std::vector<std::vector<Vid>> rows{{0, 3}, {1, 0}, {2, 1}, {3, kInvalidVid}};
+  for (uint32_t s = 0; s <= 3; ++s) {
+    paths.Row(s) = rows[s];
+  }
+  return paths;
+}
+
+TEST(PathSetTest, TransposeIntoPaths) {
+  PathSet paths = MakePaths();
+  EXPECT_EQ(paths.Path(0), (std::vector<Vid>{0, 1, 2, 3}));
+  EXPECT_EQ(paths.Path(1), (std::vector<Vid>{3, 0, 1}));  // stops at termination
+}
+
+TEST(PathSetTest, VisitCounts) {
+  PathSet paths = MakePaths();
+  auto counts = paths.VisitCounts(4);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2, 1, 2}));
+}
+
+TEST(PathSetTest, StreamEdgesSkipsTerminated) {
+  PathSet paths = MakePaths();
+  std::vector<std::pair<Vid, Vid>> edges;
+  paths.StreamEdges([&](Vid a, Vid b) { edges.push_back({a, b}); });
+  std::vector<std::pair<Vid, Vid>> expected{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 1}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(PathSetTest, ValidAgainstGraph) {
+  // SmallGraph edges: 0->{1,2,3}, 1->{0,2}, 2->{3}, 3->{0}.
+  CsrGraph g = SmallGraph();
+  PathSet ok(1, 2);
+  ok.Row(0) = {0};
+  ok.Row(1) = {2};
+  ok.Row(2) = {3};
+  EXPECT_TRUE(ok.ValidAgainst(g));
+
+  PathSet bad(1, 1);
+  bad.Row(0) = {2};
+  bad.Row(1) = {1};  // 2->1 is not an edge
+  EXPECT_FALSE(bad.ValidAgainst(g));
+}
+
+TEST(PathSetTest, ValidAllowsDeadEndStay) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  CsrGraph g = b.Build();
+  PathSet paths(1, 2);
+  paths.Row(0) = {0};
+  paths.Row(1) = {1};
+  paths.Row(2) = {1};  // stuck at dead end: allowed
+  EXPECT_TRUE(paths.ValidAgainst(g));
+  paths.Row(2) = {0};  // teleporting from dead end: not allowed
+  EXPECT_FALSE(paths.ValidAgainst(g));
+}
+
+TEST(PathSetTest, AppendMergesEpisodes) {
+  PathSet a = MakePaths();
+  PathSet b = MakePaths();
+  a.Append(std::move(b));
+  EXPECT_EQ(a.num_walkers(), 4u);
+  EXPECT_EQ(a.steps(), 3u);
+  EXPECT_EQ(a.Path(2), (std::vector<Vid>{0, 1, 2, 3}));
+  // Appending into an empty set adopts the other's shape.
+  PathSet empty;
+  empty.Append(MakePaths());
+  EXPECT_EQ(empty.num_walkers(), 2u);
+}
+
+TEST(PathSetTest, EmptyPathSet) {
+  PathSet paths;
+  EXPECT_EQ(paths.num_walkers(), 0u);
+  auto counts = paths.VisitCounts(5);
+  EXPECT_EQ(counts, std::vector<uint64_t>(5, 0));
+}
+
+}  // namespace
+}  // namespace fm

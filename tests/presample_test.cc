@@ -1,0 +1,88 @@
+#include "src/core/presample.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cachesim/mem_hook.h"
+#include "src/gen/uniform_degree.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(PresampleTest, AllocatesOnlyForPsPartitions) {
+  CsrGraph g = GenerateUniformDegreeGraph(1024, 4, 1);
+  PartitionPlan ds_plan = PartitionPlan::BuildUniform(g, 4, SamplePolicy::kDS);
+  PresampleBuffers none(g, ds_plan);
+  EXPECT_FALSE(none.enabled());
+  EXPECT_EQ(none.total_samples(), 0u);
+
+  PartitionPlan ps_plan = PartitionPlan::BuildUniform(g, 4, SamplePolicy::kPS);
+  PresampleBuffers all(g, ps_plan);
+  EXPECT_TRUE(all.enabled());
+  EXPECT_EQ(all.total_samples(), g.num_edges());
+}
+
+TEST(PresampleTest, NextReturnsOnlyNeighbors) {
+  CsrGraph g = SmallSortedGraph();
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kPS);
+  PresampleBuffers buffers(g, plan);
+  XorShiftRng rng(3);
+  NullMemHook hook;
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    uint32_t vp_i = plan.VpOf(v);
+    for (int i = 0; i < 200; ++i) {
+      Vid next = buffers.Next(g, vp_i, plan.vp(vp_i), v, nullptr, rng, hook);
+      ASSERT_TRUE(g.HasEdge(v, next)) << v << "->" << next;
+    }
+  }
+}
+
+TEST(PresampleTest, SamplesAreUniformOverEdges) {
+  // Star center has n-1 neighbors; consumption across refills must be uniform.
+  CsrGraph g = StarGraph(17);  // center degree 16, already degree-sorted
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kPS);
+  PresampleBuffers buffers(g, plan);
+  XorShiftRng rng(11);
+  NullMemHook hook;
+  const uint64_t draws = 1 << 18;
+  std::vector<uint64_t> counts(17, 0);
+  uint32_t vp_i = plan.VpOf(0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++counts[buffers.Next(g, vp_i, plan.vp(vp_i), 0, nullptr, rng, hook)];
+  }
+  std::vector<uint64_t> observed(counts.begin() + 1, counts.end());
+  std::vector<double> expected(16, draws / 16.0);
+  EXPECT_EQ(counts[0], 0u);  // center never its own neighbor
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(PresampleTest, ResetForcesRefill) {
+  CsrGraph g = RingGraph(8);  // degree 1: next is deterministic
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kPS);
+  PresampleBuffers buffers(g, plan);
+  XorShiftRng rng(5);
+  NullMemHook hook;
+  uint32_t vp_i = plan.VpOf(3);
+  EXPECT_EQ(buffers.Next(g, vp_i, plan.vp(vp_i), 3, nullptr, rng, hook), 4u);
+  buffers.ResetAll();
+  EXPECT_EQ(buffers.Next(g, vp_i, plan.vp(vp_i), 3, nullptr, rng, hook), 4u);
+}
+
+TEST(PresampleTest, HookSeesRefillAndConsumption) {
+  CsrGraph g = StarGraph(5);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kPS);
+  PresampleBuffers buffers(g, plan);
+  CacheHierarchy sim;  // paper geometry
+  CacheSimHook hook(&sim);
+  XorShiftRng rng(7);
+  uint32_t vp_i = plan.VpOf(0);
+  buffers.Next(g, vp_i, plan.vp(vp_i), 0, nullptr, rng, hook);
+  // First call: offsets + cursor + refill (degree 4: 4 reads + 4 writes) + one
+  // sample read + cursor write > 5 accesses.
+  EXPECT_GT(sim.counters().accesses, 5u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,111 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace fm {
+namespace {
+
+TEST(XorShiftRngTest, DeterministicForSameSeed) {
+  XorShiftRng a(42);
+  XorShiftRng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XorShiftRngTest, DifferentSeedsDiverge) {
+  XorShiftRng a(1);
+  XorShiftRng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Next() == b.Next();
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XorShiftRngTest, ZeroSeedIsValid) {
+  XorShiftRng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Next());
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no short cycle, nonzero state
+}
+
+TEST(XorShiftRngTest, NextDoubleInUnitInterval) {
+  XorShiftRng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(XorShiftRngTest, NextBoundedInRange) {
+  XorShiftRng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(XorShiftRngTest, NextBoundedIsUniform) {
+  XorShiftRng rng(11);
+  const uint64_t buckets = 16;
+  const uint64_t draws = 1 << 20;
+  std::vector<uint64_t> observed(buckets, 0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++observed[rng.NextBounded(buckets)];
+  }
+  std::vector<double> expected(buckets, static_cast<double>(draws) / buckets);
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(MersenneRngTest, UniformAndDeterministic) {
+  MersenneRng a(5);
+  MersenneRng b(5);
+  EXPECT_EQ(a.Next(), b.Next());
+  const uint64_t buckets = 16;
+  const uint64_t draws = 1 << 18;
+  std::vector<uint64_t> observed(buckets, 0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++observed[a.NextBounded(buckets)];
+  }
+  std::vector<double> expected(buckets, static_cast<double>(draws) / buckets);
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(DeriveSeedTest, StreamsAreDecorrelated) {
+  // Consecutive stream ids must give unrelated generators.
+  uint64_t base = 123;
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 1000; ++s) {
+    seeds.insert(DeriveSeed(base, s));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  // First outputs of adjacent streams agree in few bit positions on average.
+  XorShiftRng a(DeriveSeed(base, 0));
+  XorShiftRng b(DeriveSeed(base, 1));
+  int identical = 0;
+  for (int i = 0; i < 64; ++i) {
+    identical += a.Next() == b.Next();
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(SplitMix64Test, KnownSequenceProperties) {
+  uint64_t state = 0;
+  uint64_t first = SplitMix64(state);
+  uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(first, 0u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,190 @@
+#include "src/core/sample_stage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/algorithms/node2vec.h"
+#include "src/gen/uniform_degree.h"
+#include "src/util/stats.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(HasEdgeHookedTest, MatchesGraphHasEdge) {
+  CsrGraph g = SmallGraph();
+  NullMemHook hook;
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    for (Vid u = 0; u < g.num_vertices(); ++u) {
+      EXPECT_EQ(HasEdgeHooked(g, v, u, hook), g.HasEdge(v, u)) << v << " " << u;
+    }
+  }
+}
+
+class SampleKernelTest : public ::testing::TestWithParam<SamplePolicy> {};
+
+TEST_P(SampleKernelTest, ProducesValidNeighbors) {
+  CsrGraph g = GenerateUniformDegreeGraph(512, 6, 2, 512);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, GetParam());
+  PresampleBuffers buffers(g, plan);
+  XorShiftRng init(1);
+  const Wid n = 4096;
+  std::vector<Vid> walkers(n);
+  for (auto& w : walkers) {
+    w = static_cast<Vid>(init.NextBounded(512));
+  }
+  auto before = walkers;
+  XorShiftRng rng(2);
+  NullMemHook hook;
+  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr, rng,
+                     hook);
+  for (Wid j = 0; j < n; ++j) {
+    ASSERT_TRUE(g.HasEdge(before[j], walkers[j])) << j;
+  }
+}
+
+TEST_P(SampleKernelTest, UniformDistributionPerVertex) {
+  // All walkers parked on a degree-8 vertex: sampled next stops must be uniform
+  // over its 8 distinct neighbors (statistically identical under PS and DS).
+  GraphBuilder b(9);
+  for (Vid t = 1; t <= 8; ++t) {
+    b.AddEdge(0, t);
+    b.AddEdge(t, 0);
+  }
+  CsrGraph g = DegreeSort(b.Build()).graph;
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, GetParam());
+  PresampleBuffers buffers(g, plan);
+  const Wid n = 1 << 18;
+  std::vector<Vid> walkers(n, 0);  // vertex 0 = the hub after sorting
+  XorShiftRng rng(3);
+  NullMemHook hook;
+  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr, rng,
+                     hook);
+  std::vector<uint64_t> counts(9, 0);
+  for (Vid v : walkers) {
+    ++counts[v];
+  }
+  std::vector<uint64_t> observed(counts.begin() + 1, counts.end());
+  std::vector<double> expected(8, n / 8.0);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SampleKernelTest,
+                         ::testing::Values(SamplePolicy::kPS, SamplePolicy::kDS));
+
+TEST(SampleKernelTest, UniformDegreeFastPathMatchesGeneralCsr) {
+  // Same graph, same seed: the regular-partition arithmetic path and the general
+  // CSR path must make identical choices (both draw index rng.NextBounded(deg)).
+  CsrGraph g = GenerateUniformDegreeGraph(256, 4, 9, 256);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  ASSERT_TRUE(plan.vp(0).uniform_degree);
+  PartitionPlan general = plan;
+  // Forge a non-uniform view of the same partition by clearing the flag.
+  // (Degree stays 4 for every vertex, so both paths sample the same edge set.)
+  const_cast<VertexPartition&>(general.vp(0)).uniform_degree = false;
+
+  const Wid n = 10000;
+  std::vector<Vid> a(n), b2(n);
+  XorShiftRng init(4);
+  for (Wid j = 0; j < n; ++j) {
+    a[j] = b2[j] = static_cast<Vid>(init.NextBounded(256));
+  }
+  NullMemHook hook;
+  XorShiftRng rng_a(5), rng_b(5);
+  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, a.data(), n, 0.0, nullptr, rng_a,
+                     hook);
+  SampleVpFirstOrder(g, 0, general.vp(0), nullptr, b2.data(), n, 0.0, nullptr,
+                     rng_b, hook);
+  EXPECT_EQ(a, b2);
+}
+
+TEST(SampleKernelTest, DegreeOneNeedsNoRng) {
+  CsrGraph g = RingGraph(64);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  ASSERT_TRUE(plan.vp(0).uniform_degree);
+  ASSERT_EQ(plan.vp(0).degree, 1u);
+  std::vector<Vid> walkers{0, 5, 63};
+  XorShiftRng rng(1);
+  NullMemHook hook;
+  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), 3, 0.0, nullptr,
+                     rng, hook);
+  EXPECT_EQ(walkers, (std::vector<Vid>{1, 6, 0}));
+}
+
+TEST(SampleKernelTest, DeadEndStaysInPlace) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);  // vertex 1 has no out-edges
+  CsrGraph g = b.Build();
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  std::vector<Vid> walkers{1, 1};
+  XorShiftRng rng(1);
+  NullMemHook hook;
+  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), 2, 0.0, nullptr,
+                     rng, hook);
+  EXPECT_EQ(walkers, (std::vector<Vid>{1, 1}));
+}
+
+TEST(SampleKernelTest, StopProbabilityTerminatesRoughlyThatFraction) {
+  CsrGraph g = GenerateUniformDegreeGraph(128, 4, 3, 128);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  const Wid n = 1 << 17;
+  std::vector<Vid> walkers(n, 0);
+  XorShiftRng rng(6);
+  NullMemHook hook;
+  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), n, 0.25, nullptr,
+                     rng, hook);
+  double dead = std::count(walkers.begin(), walkers.end(), kInvalidVid) /
+                static_cast<double>(n);
+  EXPECT_NEAR(dead, 0.25, 0.01);
+}
+
+TEST(Node2VecKernelTest, ValidTransitionsAndDistribution) {
+  CsrGraph g = CompleteGraph(6);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  Node2VecParams params{0.5, 2.0};
+  const Wid n = 1 << 17;
+  std::vector<Vid> walkers(n, 0);
+  std::vector<Vid> prevs(n, 2);
+  XorShiftRng rng(8);
+  NullMemHook hook;
+  SampleVpNode2Vec(g, plan.vp(0), params, walkers.data(), prevs.data(), n, 0.0,
+                   /*update_prevs=*/false, rng, hook);
+  auto exact = Node2VecTransitionProbs(g, 0, 2, params);
+  auto nbrs = g.neighbors(0);
+  std::vector<uint64_t> counts(6, 0);
+  for (Vid v : walkers) {
+    ASSERT_TRUE(g.HasEdge(0, v));
+    ++counts[v];
+  }
+  std::vector<uint64_t> observed;
+  std::vector<double> expected;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    observed.push_back(counts[nbrs[i]]);
+    expected.push_back(exact[i] * n);
+  }
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(Node2VecKernelTest, FirstStepIsUniform) {
+  CsrGraph g = CompleteGraph(5);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  const Wid n = 1 << 16;
+  std::vector<Vid> walkers(n, 0);
+  std::vector<Vid> prevs(n, kInvalidVid);
+  XorShiftRng rng(9);
+  NullMemHook hook;
+  SampleVpNode2Vec(g, plan.vp(0), Node2VecParams{0.1, 10.0}, walkers.data(),
+                   prevs.data(), n, 0.0, /*update_prevs=*/false, rng, hook);
+  std::vector<uint64_t> counts(5, 0);
+  for (Vid v : walkers) {
+    ++counts[v];
+  }
+  std::vector<uint64_t> observed(counts.begin() + 1, counts.end());
+  std::vector<double> expected(4, n / 4.0);
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+}  // namespace
+}  // namespace fm

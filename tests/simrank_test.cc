@@ -1,0 +1,97 @@
+#include "src/apps/simrank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/powerlaw_graph.h"
+#include "src/graph/transpose.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(ExactSimRankTest, IdentityAndRange) {
+  CsrGraph g = SmallGraph();
+  auto s = ExactSimRank(g, 0.6, 10);
+  for (Vid a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(s[a][a], 1.0);
+    for (Vid b = 0; b < 4; ++b) {
+      EXPECT_GE(s[a][b], 0.0);
+      EXPECT_LE(s[a][b], 1.0);
+      EXPECT_DOUBLE_EQ(s[a][b], s[b][a]);
+    }
+  }
+}
+
+TEST(ExactSimRankTest, HandComputedTwoParents) {
+  // 0 -> 2, 1 -> 2, 0 -> 3, 1 -> 3: vertices 2 and 3 share identical in-sets
+  // {0, 1}. s(2,3) = c/4 * (s00 + s01 + s10 + s11); with s(0,1) = 0 (no in-edges)
+  // => s(2,3) = c/4 * 2 = c/2.
+  GraphBuilder b(4);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  CsrGraph g = b.Build();
+  auto s = ExactSimRank(g, 0.6, 20);
+  EXPECT_NEAR(s[2][3], 0.6 / 2, 1e-9);
+  EXPECT_DOUBLE_EQ(s[0][1], 0.0);  // no in-neighbors: never similar
+}
+
+TEST(SimRankMcTest, MatchesExactOnSmallGraphs) {
+  // Random small graph; MC estimates must track the exact fixed point.
+  PowerLawConfig config;
+  config.degrees.num_vertices = 60;
+  config.degrees.avg_degree = 4;
+  config.degrees.alpha = 0.4;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  CsrGraph reverse = Transpose(g);
+  auto exact = ExactSimRank(g, 0.6, 14);
+
+  SimRankOptions options;
+  options.samples = 40000;
+  options.seed = 11;
+  int checked = 0;
+  for (Vid a = 0; a < 8; ++a) {
+    for (Vid b = a + 1; b < 8; ++b) {
+      double mc = EstimateSimRank(reverse, a, b, options);
+      EXPECT_NEAR(mc, exact[a][b], 0.03) << a << "," << b;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 28);
+}
+
+TEST(SimRankMcTest, SelfSimilarityIsOne) {
+  CsrGraph reverse = Transpose(SmallGraph());
+  EXPECT_DOUBLE_EQ(EstimateSimRank(reverse, 2, 2), 1.0);
+}
+
+TEST(SimRankMcTest, BatchMatchesSingle) {
+  CsrGraph g = SmallGraph();
+  CsrGraph reverse = Transpose(g);
+  SimRankOptions options;
+  options.samples = 5000;
+  std::vector<std::pair<Vid, Vid>> pairs{{0, 1}, {1, 2}, {2, 3}};
+  auto batch = EstimateSimRankBatch(reverse, pairs, options);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], EstimateSimRank(reverse, pairs[i].first,
+                                               pairs[i].second, options));
+  }
+}
+
+TEST(SimRankMcTest, DeadVerticesScoreZero) {
+  // Vertices with no in-edges can never meet.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  CsrGraph reverse = Transpose(b.Build());
+  SimRankOptions options;
+  options.samples = 1000;
+  EXPECT_DOUBLE_EQ(EstimateSimRank(reverse, 0, 1, options), 0.0);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,64 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace fm {
+namespace {
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.001);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+TEST(ChiSquareTest, ExactStatistic) {
+  // Observed 60/40 vs expected 50/50: chi2 = 100/50 + 100/50 = 4.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({60, 40}, {50.0, 50.0}), 4.0);
+}
+
+TEST(ChiSquareTest, ZeroExpectationHandling) {
+  EXPECT_TRUE(std::isinf(ChiSquareStatistic({1, 99}, {0.0, 100.0})));
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({0, 100}, {0.0, 100.0}), 0.0);
+}
+
+TEST(ChiSquareTest, CriticalValuesMatchTables) {
+  // Reference values from standard chi-square tables.
+  // Wilson-Hilferty is weakest at dof=1 (~2.5% error); tolerate it.
+  EXPECT_NEAR(ChiSquareCriticalValue(1, 0.05), 3.841, 0.15);
+  EXPECT_NEAR(ChiSquareCriticalValue(10, 0.05), 18.307, 0.2);
+  EXPECT_NEAR(ChiSquareCriticalValue(100, 0.05), 124.34, 1.0);
+  EXPECT_NEAR(ChiSquareCriticalValue(5, 0.001), 20.52, 0.3);
+}
+
+TEST(ChiSquareTest, AcceptsTrueDistribution) {
+  XorShiftRng rng(3);
+  std::vector<uint64_t> observed(10, 0);
+  const uint64_t draws = 1 << 18;
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++observed[rng.NextBounded(10)];
+  }
+  std::vector<double> expected(10, draws / 10.0);
+  EXPECT_TRUE(ChiSquareTestPasses(observed, expected));
+}
+
+TEST(ChiSquareTest, RejectsWrongDistribution) {
+  // Heavily skewed observations against a uniform expectation.
+  std::vector<uint64_t> observed{5000, 1000, 1000, 1000};
+  std::vector<double> expected(4, 2000.0);
+  EXPECT_FALSE(ChiSquareTestPasses(observed, expected));
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,89 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  const uint64_t tasks = 10000;
+  std::vector<std::atomic<int>> hits(tasks);
+  pool.ParallelFor(tasks, [&](uint64_t t, uint32_t) { ++hits[t]; });
+  for (uint64_t t = 0; t < tasks; ++t) {
+    ASSERT_EQ(hits[t].load(), 1) << t;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](uint64_t, uint32_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](uint64_t t, uint32_t worker) {
+    EXPECT_EQ(worker, 0u);
+    sum += t;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ChunksTileTheRange) {
+  ThreadPool pool(3);
+  const uint64_t n = 1003;  // not divisible by 3
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelChunks(n, [&](uint64_t begin, uint64_t end, uint32_t) {
+    ASSERT_LT(begin, end);
+    for (uint64_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunksSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelChunks(3, [&](uint64_t begin, uint64_t end, uint32_t) {
+    EXPECT_EQ(end, begin + 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreInRange) {
+  ThreadPool pool(4);
+  std::atomic<bool> ok{true};
+  pool.ParallelFor(1000, [&](uint64_t, uint32_t worker) {
+    if (worker >= pool.thread_count()) {
+      ok = false;
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(64, [&](uint64_t t, uint32_t) { sum += t; });
+    ASSERT_EQ(sum.load(), 2016u);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+  EXPECT_GE(ThreadPool::Global().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,67 @@
+#include "src/graph/transpose.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/powerlaw_graph.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+TEST(TransposeTest, ReversesEveryEdge) {
+  CsrGraph g = SmallGraph();
+  CsrGraph t = Transpose(g);
+  EXPECT_EQ(t.num_vertices(), g.num_vertices());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    for (Vid u : g.neighbors(v)) {
+      EXPECT_TRUE(t.HasEdge(u, v)) << u << "->" << v;
+    }
+  }
+  t.CheckValid();
+  EXPECT_TRUE(t.AdjacencySorted());
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = 3000;
+  config.degrees.avg_degree = 7;
+  CsrGraph g = GeneratePowerLawGraph(config);
+  EXPECT_TRUE(Identical(Transpose(Transpose(g)), g));
+}
+
+TEST(TransposeTest, CarriesWeights) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.5f);
+  b.AddEdge(0, 2, 7.0f);
+  b.AddEdge(2, 1, 1.5f);
+  CsrGraph t = Transpose(b.Build());
+  ASSERT_TRUE(t.weighted());
+  // In-edges of 1: from 0 (2.5) and from 2 (1.5), sorted by source.
+  auto nbrs = t.neighbors(1);
+  auto wts = t.neighbor_weights(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_FLOAT_EQ(wts[0], 2.5f);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_FLOAT_EQ(wts[1], 1.5f);
+}
+
+TEST(TransposeTest, UndirectedGraphIsSelfTranspose) {
+  CsrGraph g = StarGraph(10);  // built undirected
+  EXPECT_TRUE(Identical(Transpose(g), g));
+}
+
+TEST(TransposeTest, EmptyAdjacencies) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  CsrGraph t = Transpose(b.Build());
+  EXPECT_EQ(t.degree(0), 0u);
+  EXPECT_EQ(t.degree(1), 1u);
+  EXPECT_EQ(t.degree(2), 0u);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,86 @@
+#include "src/gen/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace fm {
+namespace {
+
+TEST(ZipfTest, MeanHitsTarget) {
+  for (double avg : {2.0, 8.0, 35.0}) {
+    ZipfDegreeConfig config;
+    config.num_vertices = 20000;
+    config.avg_degree = avg;
+    config.alpha = 0.8;
+    auto degrees = ZipfDegreeSequence(config);
+    double mean = std::accumulate(degrees.begin(), degrees.end(), 0.0) /
+                  degrees.size();
+    EXPECT_NEAR(mean, avg, avg * 0.1 + 0.6) << "avg=" << avg;
+  }
+}
+
+TEST(ZipfTest, DescendingOrder) {
+  ZipfDegreeConfig config;
+  config.num_vertices = 5000;
+  config.avg_degree = 10;
+  config.alpha = 0.9;
+  auto degrees = ZipfDegreeSequence(config);
+  EXPECT_TRUE(std::is_sorted(degrees.rbegin(), degrees.rend()));
+}
+
+TEST(ZipfTest, MinMaxRespected) {
+  ZipfDegreeConfig config;
+  config.num_vertices = 5000;
+  config.avg_degree = 10;
+  config.alpha = 1.1;
+  config.min_degree = 2;
+  config.max_degree = 100;
+  auto degrees = ZipfDegreeSequence(config);
+  EXPECT_EQ(*std::min_element(degrees.begin(), degrees.end()), 2u);
+  EXPECT_LE(*std::max_element(degrees.begin(), degrees.end()), 100u);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDegreeConfig config;
+  config.num_vertices = 100;
+  config.avg_degree = 7;
+  config.alpha = 0.0;
+  auto degrees = ZipfDegreeSequence(config);
+  for (Degree d : degrees) {
+    EXPECT_EQ(d, 7u);
+  }
+}
+
+TEST(ZipfTest, HigherAlphaIsMoreSkewed) {
+  ZipfDegreeConfig config;
+  config.num_vertices = 50000;
+  config.avg_degree = 20;
+  config.alpha = 0.6;
+  double share_low = TopShare(ZipfDegreeSequence(config), 0.01);
+  config.alpha = 0.9;
+  double share_high = TopShare(ZipfDegreeSequence(config), 0.01);
+  EXPECT_GT(share_high, share_low);
+}
+
+TEST(ZipfTest, TopShareFitMatchesClosedForm) {
+  // Table 2 fit check: with alpha, top-q share ~ q^(1-alpha) (no caps binding).
+  ZipfDegreeConfig config;
+  config.num_vertices = 100000;
+  config.avg_degree = 30;
+  config.alpha = 0.845;  // the TW fit
+  config.max_degree = 0;
+  double share = TopShare(ZipfDegreeSequence(config), 0.01);
+  EXPECT_NEAR(share, 0.49, 0.12);  // paper: 49.1% of edges in the top 1%
+}
+
+TEST(TopShareTest, Basics) {
+  std::vector<Degree> degrees{10, 5, 3, 2};
+  EXPECT_DOUBLE_EQ(TopShare(degrees, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(TopShare(degrees, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(TopShare({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,222 @@
+// fmwalk — command-line front end for the FlashMob walk engine.
+//
+// Usage:
+//   fmwalk --graph=edges.txt [options]
+//   fmwalk --csr=graph.csr --mmap --algo=node2vec --p=0.25 --q=4 --out=paths.txt
+//
+// Options:
+//   --graph=FILE      text edge list ("u v [w]" per line; '#'/'%' comments)
+//   --csr=FILE        binary CSR (see SaveCsrBinary); --mmap walks it from disk
+//   --undirected      symmetrize edges while loading
+//   --algo=NAME       deepwalk (default) | node2vec | mh (Metropolis-Hastings:
+//                     uniform stationary distribution for unbiased vertex sampling)
+//   --steps=N         walk length                      (default 80)
+//   --rounds=N        walkers = N * |V|                (default 10)
+//   --walkers=N       explicit walker count (overrides --rounds)
+//   --p=F --q=F       node2vec parameters              (default 1, 1)
+//   --weighted        transition probability ~ edge weight (first-order only)
+//   --stop=F          per-step stop probability (PPR-style termination)
+//   --seed=N          RNG seed                         (default 1)
+//   --out=FILE        write one walk per line (original vertex IDs)
+//   --pairs=FILE      write sampled edges "u v" per line instead of full paths
+//   --stats           print visit statistics by degree bucket (Table 2 style)
+//   --threads=N       worker threads (default: all cores; or FM_THREADS)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/fm.h"
+
+namespace {
+
+using namespace fm;
+
+struct Args {
+  std::string graph_path;
+  std::string csr_path;
+  bool use_mmap = false;
+  bool undirected = false;
+  std::string algo = "deepwalk";
+  uint32_t steps = 80;
+  uint32_t rounds = 10;
+  uint64_t walkers = 0;
+  double p = 1.0;
+  double q = 1.0;
+  bool weighted = false;
+  double stop = 0.0;
+  uint64_t seed = 1;
+  std::string out_path;
+  std::string pairs_path;
+  bool stats = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* self) {
+  std::fprintf(stderr,
+               "usage: %s --graph=edges.txt | --csr=graph.csr [--mmap] "
+               "[--algo=deepwalk|node2vec]\n"
+               "  [--steps=N] [--rounds=N] [--walkers=N] [--p=F] [--q=F] "
+               "[--weighted] [--stop=F]\n"
+               "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats]\n",
+               self);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* a = argv[i];
+    if (ParseFlag(a, "--graph", &value)) {
+      args.graph_path = value;
+    } else if (ParseFlag(a, "--csr", &value)) {
+      args.csr_path = value;
+    } else if (std::strcmp(a, "--mmap") == 0) {
+      args.use_mmap = true;
+    } else if (std::strcmp(a, "--undirected") == 0) {
+      args.undirected = true;
+    } else if (ParseFlag(a, "--algo", &value)) {
+      args.algo = value;
+    } else if (ParseFlag(a, "--steps", &value)) {
+      args.steps = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(a, "--rounds", &value)) {
+      args.rounds = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(a, "--walkers", &value)) {
+      args.walkers = std::stoull(value);
+    } else if (ParseFlag(a, "--p", &value)) {
+      args.p = std::stod(value);
+    } else if (ParseFlag(a, "--q", &value)) {
+      args.q = std::stod(value);
+    } else if (std::strcmp(a, "--weighted") == 0) {
+      args.weighted = true;
+    } else if (ParseFlag(a, "--stop", &value)) {
+      args.stop = std::stod(value);
+    } else if (ParseFlag(a, "--seed", &value)) {
+      args.seed = std::stoull(value);
+    } else if (ParseFlag(a, "--out", &value)) {
+      args.out_path = value;
+    } else if (ParseFlag(a, "--pairs", &value)) {
+      args.pairs_path = value;
+    } else if (std::strcmp(a, "--stats") == 0) {
+      args.stats = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      return Usage(argv[0]);
+    }
+  }
+  if (args.graph_path.empty() == args.csr_path.empty()) {
+    std::fprintf(stderr, "exactly one of --graph / --csr is required\n");
+    return Usage(argv[0]);
+  }
+  if (args.algo != "deepwalk" && args.algo != "node2vec" && args.algo != "mh") {
+    std::fprintf(stderr, "unknown --algo=%s\n", args.algo.c_str());
+    return Usage(argv[0]);
+  }
+
+  try {
+    // ---- load -----------------------------------------------------------------
+    Timer load_timer;
+    CsrGraph raw;
+    if (!args.graph_path.empty()) {
+      raw = LoadEdgeListText(args.graph_path,
+                             {.undirected = args.undirected,
+                              .remove_self_loops = true,
+                              .remove_zero_degree = true});
+    } else if (args.use_mmap) {
+      raw = LoadCsrBinaryMapped(args.csr_path);
+    } else {
+      raw = LoadCsrBinary(args.csr_path);
+    }
+    std::fprintf(stderr, "loaded |V|=%u |E|=%llu%s%s in %.2fs\n",
+                 raw.num_vertices(),
+                 static_cast<unsigned long long>(raw.num_edges()),
+                 raw.weighted() ? " weighted" : "",
+                 raw.memory_mapped() ? " (memory-mapped)" : "",
+                 load_timer.Elapsed());
+
+    // ---- pre-process (degree sort) ---------------------------------------------
+    Timer sort_timer;
+    DegreeSortedGraph sorted = DegreeSort(raw);
+    std::fprintf(stderr, "degree sort: %.2fs\n", sort_timer.Elapsed());
+
+    // ---- walk -------------------------------------------------------------------
+    WalkSpec spec;
+    spec.algorithm = args.algo == "node2vec"
+                         ? WalkAlgorithm::kNode2Vec
+                         : (args.algo == "mh" ? WalkAlgorithm::kMetropolisHastings
+                                              : WalkAlgorithm::kDeepWalk);
+    spec.steps = args.steps;
+    spec.num_walkers =
+        args.walkers != 0
+            ? args.walkers
+            : static_cast<Wid>(args.rounds) * sorted.graph.num_vertices();
+    spec.node2vec = {args.p, args.q};
+    spec.use_edge_weights = args.weighted;
+    spec.stop_probability = args.stop;
+    spec.seed = args.seed;
+    spec.keep_paths = !args.out_path.empty() || !args.pairs_path.empty();
+
+    FlashMobEngine engine(sorted.graph);
+    WalkResult result = engine.Run(spec);
+    std::fprintf(stderr,
+                 "walked %llu steps in %.2fs: %.1f ns/step "
+                 "(sample %.2fs, shuffle %.2fs, other %.2fs, %u episodes)\n",
+                 static_cast<unsigned long long>(result.stats.total_steps),
+                 result.stats.times.Total(), result.stats.PerStepNs(),
+                 result.stats.times.sample_s, result.stats.times.shuffle_s,
+                 result.stats.times.other_s, result.stats.episodes);
+
+    // ---- output ------------------------------------------------------------------
+    if (!args.out_path.empty()) {
+      std::ofstream out(args.out_path);
+      for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
+        auto path = result.paths.Path(w);
+        for (size_t i = 0; i < path.size(); ++i) {
+          out << (i == 0 ? "" : " ") << sorted.new_to_old[path[i]];
+        }
+        out << '\n';
+      }
+      std::fprintf(stderr, "wrote %llu walks to %s\n",
+                   static_cast<unsigned long long>(result.paths.num_walkers()),
+                   args.out_path.c_str());
+    }
+    if (!args.pairs_path.empty()) {
+      std::ofstream out(args.pairs_path);
+      uint64_t pairs = 0;
+      result.paths.StreamEdges([&](Vid from, Vid to) {
+        out << sorted.new_to_old[from] << ' ' << sorted.new_to_old[to] << '\n';
+        ++pairs;
+      });
+      std::fprintf(stderr, "wrote %llu sampled edges to %s\n",
+                   static_cast<unsigned long long>(pairs),
+                   args.pairs_path.c_str());
+    }
+    if (args.stats) {
+      DegreeBucketStats stats =
+          ComputeDegreeBucketStats(sorted.graph, result.visit_counts);
+      std::printf("%-10s %12s %10s %10s\n", "bucket", "avg degree", "edges%",
+                  "visits%");
+      const char* names[4] = {"<1%", "1-5%", "5-25%", "25-100%"};
+      for (size_t b = 0; b < kDegreeBuckets; ++b) {
+        std::printf("%-10s %12.1f %9.1f%% %9.1f%%\n", names[b],
+                    stats.avg_degree[b], stats.edge_share[b] * 100,
+                    stats.visit_share[b] * 100);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
