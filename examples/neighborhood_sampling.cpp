@@ -64,8 +64,8 @@ int main() {
   for (const auto& [seed, hood] : neighborhoods) {
     sizes.push_back(static_cast<double>(hood.size()));
   }
-  std::printf("distinct seeds: %zu (of %u requested)\n", neighborhoods.size(),
-              kSeeds);
+  std::printf("distinct seeds: %zu (of %llu requested)\n", neighborhoods.size(),
+              static_cast<unsigned long long>(kSeeds));
   std::printf("sampled-neighborhood size: mean %.1f, p50 %.0f, p95 %.0f, p99 %.0f\n",
               Mean(sizes), Percentile(sizes, 50), Percentile(sizes, 95),
               Percentile(sizes, 99));

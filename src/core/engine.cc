@@ -244,6 +244,13 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
           node2vec ? (identity_free ? rot_b.data() : w_prev) : nullptr;
       shuffler.Scatter(w_cur, aux, w, sw.data(),
                        aux != nullptr ? sw_prev.data() : nullptr);
+      // Walker-count conservation: the scatter must account for every walker
+      // (live ones in VP chunks, dead ones in the trailing bin) — losing or
+      // duplicating one here silently corrupts identity for the whole episode.
+      FM_DCHECK_EQ(shuffler.vp_offsets().back(), w);
+      FM_DCHECK_EQ(
+          static_cast<Wid>(std::count(w_cur, w_cur + w, kInvalidVid)),
+          shuffler.dead_count());
       if (node2vec && aux == nullptr) {
         // First step of an identity-tracked node2vec episode: no predecessors yet;
         // the kernel treats kInvalidVid as "take a uniform first-order step".
@@ -313,6 +320,12 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
       shuffle_timer.Start();
       Vid* w_next = spec.keep_paths ? paths.Row(step + 1).data() : free_buf;
       shuffler.Gather(w_cur, w, sw.data(), w_next, nullptr, nullptr);
+      // Dead-walker monotonicity: the gather delivers every walker the scatter
+      // parked dead, plus any the sample stage just killed — the dead population
+      // can only grow (a dead walker never resurrects).
+      FM_DCHECK_GE(
+          static_cast<Wid>(std::count(w_next, w_next + w, kInvalidVid)),
+          shuffler.dead_count());
       if constexpr (Hook::kEnabled) {
         CacheHierarchy* sim = hook.sim();
         TouchStreaming(sim, w_cur, w * sizeof(Vid));

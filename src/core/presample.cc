@@ -13,6 +13,12 @@ PresampleBuffers::PresampleBuffers(const CsrGraph& graph,
     if (vp.policy != SamplePolicy::kPS) {
       continue;
     }
+    // Buffer layout invariants: the VP covers a non-empty vertex range whose CSR
+    // slice starts at its recorded edge_begin — a mismatch would alias sample
+    // buffers between partitions.
+    FM_DCHECK_LT(vp.begin, vp.end);
+    FM_DCHECK_EQ(vp.edge_begin, graph.edge_begin(vp.begin));
+    FM_DCHECK_LE(vp.edge_begin, graph.edge_end(vp.end - 1));
     vp_sample_base_[i] = total;
     total += graph.edge_end(vp.end - 1) - vp.edge_begin;
   }

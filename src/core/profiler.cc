@@ -54,7 +54,7 @@ double MeasureSamplePointNs(Vid vp_vertices, Degree degree, double density,
   // density amortizes the refetch. Emulate that by sweeping a 2xL3 buffer between
   // timed iterations; without this, the profile overstates cache residency and the
   // planner over-commits to PS.
-  static std::vector<uint64_t>& flush = *new std::vector<uint64_t>(
+  static std::vector<uint64_t> flush(
       2 * PaperCacheInfo().l3_bytes / sizeof(uint64_t), 1);
   double timed_ns = 0;
   uint64_t sink = 0;

@@ -141,7 +141,7 @@ void SampleVpMetropolis(const CsrGraph& graph, Vid* walkers, Wid count,
 // is overwritten with the pre-step location (identity-free mode); otherwise the
 // engine re-derives predecessors from the path rows.
 template <typename Rng, typename Hook>
-void SampleVpNode2Vec(const CsrGraph& graph, const VertexPartition& vp,
+void SampleVpNode2Vec(const CsrGraph& graph, const VertexPartition& /*vp*/,
                       const Node2VecParams& params, Vid* walkers, Vid* prevs,
                       Wid count, double stop_probability, bool update_prevs,
                       Rng& rng, Hook& hook) {

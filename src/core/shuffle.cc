@@ -48,6 +48,19 @@ void Shuffler::CountAndPrefix(const Vid* w, Wid n) {
   }
   vp_offsets_[num_vps_ + 1] = acc;
   FM_CHECK(acc == n);
+  // Offset monotonicity: the prefix walk must leave both tables non-decreasing,
+  // and every (chunk, vp) start inside its vp's chunk — the invariant that makes
+  // the scatter/gather replay a bijection.
+  for (uint32_t vp = 0; vp <= num_vps_; ++vp) {
+    FM_DCHECK_LE(vp_offsets_[vp], vp_offsets_[vp + 1]);
+    for (uint32_t c = 0; c < num_chunks_; ++c) {
+      FM_DCHECK_GE(starts_[c * row + vp], vp_offsets_[vp]);
+      FM_DCHECK_LE(starts_[c * row + vp], vp_offsets_[vp + 1]);
+      if (c + 1 < num_chunks_) {
+        FM_DCHECK_LE(starts_[c * row + vp], starts_[(c + 1) * row + vp]);
+      }
+    }
+  }
   scattered_n_ = n;
 }
 
@@ -61,7 +74,9 @@ void Shuffler::ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
     std::vector<Wid> offs(starts_.begin() + c * row,
                           starts_.begin() + (c + 1) * row);
     for (Wid j = begin; j < end; ++j) {
-      Wid p = offs[BinOfValue(w[j])]++;
+      uint32_t bin = BinOfValue(w[j]);
+      Wid p = offs[bin]++;
+      FM_DCHECK_LT(p, vp_offsets_[bin + 1]);
       sw[p] = w[j];
       if (aux != nullptr) {
         sw_aux[p] = aux[j];
@@ -117,6 +132,7 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
       Vid v = w[j];
       uint32_t b = (v == kInvalidVid) ? num_bins : plan_->OuterBinOf(v);
       Wid p = cursor[b]++;
+      FM_DCHECK_LT(p, scattered_n_);
       inter_[p] = v;
       if (aux != nullptr) {
         inter_aux_[p] = aux[j];
@@ -162,8 +178,11 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
       offs[i] = vp_offsets_[g.vp_base + i];
     }
     for (Wid j = begin; j < end; ++j) {
+      FM_DCHECK_GE(plan_->VpOf(inter_[j]), g.vp_base);
       uint32_t vp = plan_->VpOf(inter_[j]) - g.vp_base;
+      FM_DCHECK_LT(vp, g.vp_count);
       Wid p = offs[vp]++;
+      FM_DCHECK_LT(p, vp_offsets_[g.vp_base + vp + 1]);
       sw[p] = inter_[j];
       if (aux != nullptr) {
         sw_aux[p] = inter_aux_[j];
@@ -191,6 +210,12 @@ void Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
                       const Vid* sw_aux, Vid* aux_next) const {
   FM_CHECK_MSG(n == scattered_n_, "Gather must replay the exact Scatter input");
   size_t row = num_vps_ + 1;
+#ifndef NDEBUG
+  // Bijectivity witness: every SW slot must be consumed exactly once. Distinct
+  // slots mean the writes below are race-free iff the replay is a permutation; a
+  // corrupted replay trips the check (or TSan, which reports it first).
+  std::vector<uint8_t> consumed(n, 0);
+#endif
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
@@ -198,6 +223,11 @@ void Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
                           starts_.begin() + (c + 1) * row);
     for (Wid j = begin; j < end; ++j) {
       Wid p = offs[BinOfValue(w_prev[j])]++;
+      FM_DCHECK_LT(p, n);
+#ifndef NDEBUG
+      FM_DCHECK_MSG(consumed[p] == 0, "SW slot " << p << " replayed twice");
+      consumed[p] = 1;
+#endif
       w_next[j] = sw[p];
       if (sw_aux != nullptr) {
         aux_next[j] = sw_aux[p];

@@ -23,6 +23,12 @@ CsrGraph::CsrGraph(std::vector<Eid> offsets, std::vector<Vid> edges,
   offsets_view_ = offsets_;
   edges_view_ = edges_;
   weights_view_ = weights_;
+#ifndef NDEBUG
+  // Full O(V+E) well-formedness (monotone offsets, in-range targets) on every
+  // construction in checking builds; release callers invoke CheckValid explicitly
+  // where the input is untrusted (deserialization).
+  CheckValid();
+#endif
 }
 
 CsrGraph::CsrGraph(std::shared_ptr<MappedFile> mapping,

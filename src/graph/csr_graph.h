@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "src/util/logging.h"
 #include "src/util/mmap_file.h"
 #include "src/util/types.h"
 
@@ -47,13 +48,21 @@ class CsrGraph {
   Eid num_edges() const { return static_cast<Eid>(edges_view_.size()); }
 
   Degree degree(Vid v) const {
+    FM_DCHECK_LT(v, num_vertices());
     return static_cast<Degree>(offsets_view_[v + 1] - offsets_view_[v]);
   }
 
-  Eid edge_begin(Vid v) const { return offsets_view_[v]; }
-  Eid edge_end(Vid v) const { return offsets_view_[v + 1]; }
+  Eid edge_begin(Vid v) const {
+    FM_DCHECK_LT(v, num_vertices());
+    return offsets_view_[v];
+  }
+  Eid edge_end(Vid v) const {
+    FM_DCHECK_LT(v, num_vertices());
+    return offsets_view_[v + 1];
+  }
 
   std::span<const Vid> neighbors(Vid v) const {
+    FM_DCHECK_LT(v, num_vertices());
     return edges_view_.subspan(offsets_view_[v],
                                offsets_view_[v + 1] - offsets_view_[v]);
   }
@@ -65,6 +74,7 @@ class CsrGraph {
   bool weighted() const { return !weights_view_.empty(); }
   std::span<const float> weights() const { return weights_view_; }
   std::span<const float> neighbor_weights(Vid v) const {
+    FM_DCHECK_LT(v, num_vertices());
     return weights_view_.subspan(offsets_view_[v],
                                  offsets_view_[v + 1] - offsets_view_[v]);
   }

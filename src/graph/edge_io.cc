@@ -6,14 +6,89 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/logging.h"
+
 namespace fm {
 namespace {
 
 constexpr uint64_t kCsrMagic = 0x464D435352303031ULL;          // "FMCSR001"
 constexpr uint64_t kCsrWeightedMagic = 0x464D435352303032ULL;  // "FMCSR002"
+constexpr size_t kCsrHeaderBytes = 3 * sizeof(uint64_t);
 
 void ThrowIo(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + ": " + path);
+}
+
+// Safe unaligned read: memcpy compiles to a plain load on every target we care
+// about but is defined behavior regardless of the source pointer's alignment.
+template <typename T>
+T LoadScalar(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+// Validated CSR container header. Every field is checked against the actual
+// file size *before* any allocation sized from it, so a corrupt or truncated
+// file is rejected with a clean error instead of crashing or over-allocating.
+struct CsrHeader {
+  bool weighted = false;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  size_t offsets_bytes = 0;
+  size_t edges_bytes = 0;
+  size_t weights_bytes = 0;
+};
+
+CsrHeader ParseCsrHeader(const uint8_t* raw, uint64_t file_size,
+                         const std::string& path) {
+  if (file_size < kCsrHeaderBytes) {
+    ThrowIo("CSR file too small", path);
+  }
+  CsrHeader h;
+  uint64_t magic = LoadScalar<uint64_t>(raw);
+  h.num_vertices = LoadScalar<uint64_t>(raw + 8);
+  h.num_edges = LoadScalar<uint64_t>(raw + 16);
+  if (magic != kCsrMagic && magic != kCsrWeightedMagic) {
+    ThrowIo("bad CSR magic/version", path);
+  }
+  h.weighted = magic == kCsrWeightedMagic;
+  // Vertex ids must fit Vid with the kInvalidVid sentinel left free.
+  if (h.num_vertices > static_cast<uint64_t>(kInvalidVid)) {
+    ThrowIo("CSR header vertex count exceeds 32-bit id range", path);
+  }
+  uint64_t payload = file_size - kCsrHeaderBytes;
+  // (num_vertices + 1) * 8 cannot overflow after the Vid-range check above.
+  uint64_t offsets_bytes = (h.num_vertices + 1) * sizeof(Eid);
+  if (offsets_bytes > payload) {
+    ThrowIo("truncated CSR file (offsets)", path);
+  }
+  uint64_t remaining = payload - offsets_bytes;
+  uint64_t per_edge = sizeof(Vid) + (h.weighted ? sizeof(float) : 0);
+  // Overflow-safe: bound num_edges by what the file could possibly hold before
+  // computing byte sizes from it.
+  if (h.num_edges > remaining / per_edge ||
+      h.num_edges * per_edge != remaining) {
+    ThrowIo("CSR header counts do not match file size", path);
+  }
+  h.offsets_bytes = static_cast<size_t>(offsets_bytes);
+  h.edges_bytes = static_cast<size_t>(h.num_edges * sizeof(Vid));
+  h.weights_bytes =
+      h.weighted ? static_cast<size_t>(h.num_edges * sizeof(float)) : 0;
+  return h;
+}
+
+// Alignment-checked zero-copy view into a mapped file section. The container
+// layout guarantees natural alignment (24-byte header, 8-byte offsets, 4-byte
+// edges/weights); the FM_CHECK makes that assumption explicit so the cast
+// below can never be an unaligned access.
+template <typename T>
+std::span<const T> MappedSpan(const uint8_t* base, size_t byte_offset,
+                              size_t count) {
+  const uint8_t* p = base + byte_offset;
+  FM_CHECK_MSG(reinterpret_cast<uintptr_t>(p) % alignof(T) == 0,
+               "misaligned CSR section at byte offset " << byte_offset);
+  return {reinterpret_cast<const T*>(p), count};
 }
 
 }  // namespace
@@ -98,28 +173,28 @@ void SaveCsrBinary(const CsrGraph& graph, const std::string& path) {
 }
 
 CsrGraph LoadCsrBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     ThrowIo("cannot open CSR file", path);
   }
-  uint64_t header[3] = {0, 0, 0};
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in || (header[0] != kCsrMagic && header[0] != kCsrWeightedMagic)) {
-    ThrowIo("bad CSR magic", path);
+  uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  uint8_t raw[kCsrHeaderBytes];
+  if (file_size < sizeof(raw) ||
+      !in.read(reinterpret_cast<char*>(raw), sizeof(raw))) {
+    ThrowIo("CSR file too small", path);
   }
-  bool weighted = header[0] == kCsrWeightedMagic;
-  uint64_t num_vertices = header[1];
-  uint64_t num_edges = header[2];
-  std::vector<Eid> offsets(num_vertices + 1);
-  std::vector<Vid> edges(num_edges);
-  std::vector<float> weights(weighted ? num_edges : 0);
+  CsrHeader h = ParseCsrHeader(raw, file_size, path);
+  std::vector<Eid> offsets(h.num_vertices + 1);
+  std::vector<Vid> edges(h.num_edges);
+  std::vector<float> weights(h.weighted ? h.num_edges : 0);
   in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>(offsets.size() * sizeof(Eid)));
+          static_cast<std::streamsize>(h.offsets_bytes));
   in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(edges.size() * sizeof(Vid)));
-  if (weighted) {
+          static_cast<std::streamsize>(h.edges_bytes));
+  if (h.weighted) {
     in.read(reinterpret_cast<char*>(weights.data()),
-            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+            static_cast<std::streamsize>(h.weights_bytes));
   }
   if (!in) {
     ThrowIo("truncated CSR file", path);
@@ -131,38 +206,20 @@ CsrGraph LoadCsrBinary(const std::string& path) {
 
 CsrGraph LoadCsrBinaryMapped(const std::string& path) {
   auto mapping = std::make_shared<MappedFile>(path);
-  // Layout (SaveCsrBinary): 3 x uint64 header, then offsets, then edges. The
-  // 24-byte header keeps the 8-byte offsets naturally aligned; edges (4-byte) are
-  // aligned at any multiple of 8.
+  // Layout (SaveCsrBinary): 3 x uint64 header, then offsets, then edges, then
+  // optional weights. The 24-byte header keeps the 8-byte offsets naturally
+  // aligned; edges/weights (4-byte) follow at multiples of 4. ParseCsrHeader
+  // validates every count against the mapping size before any span is formed.
   const auto* base = static_cast<const uint8_t*>(mapping->data());
-  if (mapping->size() < 3 * sizeof(uint64_t)) {
-    ThrowIo("CSR file too small", path);
-  }
-  uint64_t header[3];
-  std::memcpy(header, base, sizeof(header));
-  if (header[0] != kCsrMagic && header[0] != kCsrWeightedMagic) {
-    ThrowIo("bad CSR magic", path);
-  }
-  bool weighted = header[0] == kCsrWeightedMagic;
-  uint64_t num_vertices = header[1];
-  uint64_t num_edges = header[2];
-  size_t offsets_bytes = (num_vertices + 1) * sizeof(Eid);
-  size_t edges_bytes = num_edges * sizeof(Vid);
-  size_t weights_bytes = weighted ? num_edges * sizeof(float) : 0;
-  if (mapping->size() < sizeof(header) + offsets_bytes + edges_bytes + weights_bytes) {
-    ThrowIo("truncated CSR file", path);
-  }
-  std::span<const Eid> offsets(
-      reinterpret_cast<const Eid*>(base + sizeof(header)), num_vertices + 1);
-  std::span<const Vid> edges(
-      reinterpret_cast<const Vid*>(base + sizeof(header) + offsets_bytes),
-      num_edges);
+  CsrHeader h = ParseCsrHeader(base, mapping->size(), path);
+  std::span<const Eid> offsets =
+      MappedSpan<Eid>(base, kCsrHeaderBytes, h.num_vertices + 1);
+  std::span<const Vid> edges =
+      MappedSpan<Vid>(base, kCsrHeaderBytes + h.offsets_bytes, h.num_edges);
   std::span<const float> weights;
-  if (weighted) {
-    weights = std::span<const float>(
-        reinterpret_cast<const float*>(base + sizeof(header) + offsets_bytes +
-                                       edges_bytes),
-        num_edges);
+  if (h.weighted) {
+    weights = MappedSpan<float>(
+        base, kCsrHeaderBytes + h.offsets_bytes + h.edges_bytes, h.num_edges);
   }
   CsrGraph graph(std::move(mapping), offsets, edges, weights);
   graph.CheckValid();

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/util/logging.h"
+
 namespace fm {
 
 void AliasTable::Build(const std::vector<double>& weights) {
@@ -56,6 +58,14 @@ void AliasTable::Build(const std::vector<double>& weights) {
   }
   for (uint32_t i : large) {
     prob_[i] = 1.0;
+  }
+  // Post-conditions Vose's pairing must leave behind: every slot probability is a
+  // valid Bernoulli parameter and every alias points into the table — an
+  // out-of-range alias turns Sample() into an out-of-bounds read.
+  for (size_t i = 0; i < n; ++i) {
+    FM_DCHECK_GE(prob_[i], 0.0);
+    FM_DCHECK_LE(prob_[i], 1.0);
+    FM_DCHECK_LT(alias_[i], n);
   }
 }
 

@@ -3,6 +3,13 @@
 // FM_CHECK is used for programmer-error invariants (aborts with a message); functions
 // that can fail on user input return status-like values or throw std::invalid_argument
 // instead — see GraphBuilder.
+//
+// FM_DCHECK* are debug-only invariants: active whenever NDEBUG is not defined
+// (Debug and sanitizer builds), compiled out — argument expressions unevaluated —
+// in Release. Policy: FM_CHECK for cheap, always-worth-it preconditions at module
+// boundaries; FM_DCHECK for per-element hot-path invariants (shuffle offsets,
+// walker conservation, CSR well-formedness) whose cost is only acceptable in
+// checking builds.
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
@@ -62,5 +69,32 @@ class LogLine {
                         fm_check_stream_.str());                       \
     }                                                                  \
   } while (0)
+
+#ifndef NDEBUG
+#define FM_DCHECK(expr) FM_CHECK(expr)
+#define FM_DCHECK_MSG(expr, msg) FM_CHECK_MSG(expr, msg)
+#else
+// Compiled out: the expression is not evaluated, but sizeof keeps its operands
+// "used" so checking builds and release builds warn identically.
+#define FM_DCHECK(expr) \
+  do {                  \
+    (void)sizeof(expr); \
+  } while (0)
+#define FM_DCHECK_MSG(expr, msg) \
+  do {                           \
+    (void)sizeof(expr);          \
+  } while (0)
+#endif
+
+// Binary-comparison forms report both operand values on failure.
+#define FM_DCHECK_OP_(op, a, b)                                              \
+  FM_DCHECK_MSG((a)op(b), #a " " #op " " #b " failed: " << (a) << " vs "     \
+                                                        << (b))
+#define FM_DCHECK_EQ(a, b) FM_DCHECK_OP_(==, a, b)
+#define FM_DCHECK_NE(a, b) FM_DCHECK_OP_(!=, a, b)
+#define FM_DCHECK_LT(a, b) FM_DCHECK_OP_(<, a, b)
+#define FM_DCHECK_LE(a, b) FM_DCHECK_OP_(<=, a, b)
+#define FM_DCHECK_GT(a, b) FM_DCHECK_OP_(>, a, b)
+#define FM_DCHECK_GE(a, b) FM_DCHECK_OP_(>=, a, b)
 
 #endif  // SRC_UTIL_LOGGING_H_

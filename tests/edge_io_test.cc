@@ -108,5 +108,81 @@ TEST_F(EdgeIoTest, BinaryRejectsTruncatedFile) {
   EXPECT_THROW(LoadCsrBinary(Path("t.csr")), std::runtime_error);
 }
 
+// --- corrupt-header regressions ---------------------------------------------
+// The loaders must validate header counts against the actual file size before
+// sizing any allocation: a hostile header must produce a clean error, never a
+// crash, OOM, or out-of-bounds read (in either the copying or the mmap path).
+
+class CorruptHeaderTest : public EdgeIoTest {
+ protected:
+  static constexpr uint64_t kMagic = 0x464D435352303031ULL;          // FMCSR001
+  static constexpr uint64_t kWeightedMagic = 0x464D435352303032ULL;  // FMCSR002
+
+  // Writes a file with the given header and `payload_bytes` zero bytes after it.
+  std::string WriteRaw(const std::string& name, uint64_t magic,
+                       uint64_t num_vertices, uint64_t num_edges,
+                       size_t payload_bytes) {
+    std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary);
+    uint64_t header[3] = {magic, num_vertices, num_edges};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    std::vector<char> zeros(payload_bytes, 0);
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+    return path;
+  }
+
+  void ExpectBothLoadersReject(const std::string& path) {
+    EXPECT_THROW(LoadCsrBinary(path), std::runtime_error) << path;
+    EXPECT_THROW(LoadCsrBinaryMapped(path), std::runtime_error) << path;
+  }
+};
+
+TEST_F(CorruptHeaderTest, HugeVertexCountRejectedWithoutAllocating) {
+  // 2^40 vertices would mean a 8 TiB offsets allocation if the loader trusted
+  // the header; it must reject on the 32-bit id range / size check instead.
+  ExpectBothLoadersReject(
+      WriteRaw("huge_v.csr", kMagic, uint64_t{1} << 40, 0, 64));
+}
+
+TEST_F(CorruptHeaderTest, HugeEdgeCountRejectedWithoutAllocating) {
+  ExpectBothLoadersReject(
+      WriteRaw("huge_e.csr", kMagic, 3, uint64_t{1} << 60, 32 + 64));
+}
+
+TEST_F(CorruptHeaderTest, CountsInconsistentWithFileSizeRejected) {
+  // Header says 3 vertices / 4 edges => payload must be exactly 4*8 + 4*4 = 48
+  // bytes; give it 40 (short) and 56 (long).
+  ExpectBothLoadersReject(WriteRaw("short.csr", kMagic, 3, 4, 40));
+  ExpectBothLoadersReject(WriteRaw("long.csr", kMagic, 3, 4, 56));
+}
+
+TEST_F(CorruptHeaderTest, WeightedMagicWithUnweightedPayloadRejected) {
+  // FMCSR002 implies a weights section; a payload sized for FMCSR001 must fail
+  // the size cross-check.
+  ExpectBothLoadersReject(WriteRaw("wmix.csr", kWeightedMagic, 3, 4, 48));
+}
+
+TEST_F(CorruptHeaderTest, UnknownVersionMagicRejected) {
+  // Same "FMCSR" family, future version number: must be rejected, not parsed.
+  ExpectBothLoadersReject(
+      WriteRaw("vnext.csr", 0x464D435352303033ULL, 3, 4, 48));
+}
+
+TEST_F(CorruptHeaderTest, TrailingGarbageRejected) {
+  CsrGraph original = SmallGraph();
+  SaveCsrBinary(original, Path("tg.csr"));
+  std::ofstream out(Path("tg.csr"), std::ios::binary | std::ios::app);
+  out << "extra bytes";
+  out.close();
+  ExpectBothLoadersReject(Path("tg.csr"));
+}
+
+TEST_F(CorruptHeaderTest, ValidFileStillLoadsAfterHardening) {
+  CsrGraph original = SmallGraph();
+  SaveCsrBinary(original, Path("ok.csr"));
+  EXPECT_TRUE(Identical(LoadCsrBinary(Path("ok.csr")), original));
+  EXPECT_TRUE(Identical(LoadCsrBinaryMapped(Path("ok.csr")), original));
+}
+
 }  // namespace
 }  // namespace fm

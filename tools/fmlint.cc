@@ -1,0 +1,284 @@
+// fmlint — repo-specific lint rules clang-tidy cannot express.
+//
+// Usage: fmlint <repo-root>
+//
+// Scans src/, tests/, bench/, tools/, examples/ for *.h, *.cc, *.cpp and
+// enforces:
+//   include-guard     headers use #ifndef/#define SRC_PATH_TO_FILE_H_ guards
+//                     derived from the repo-relative path.
+//   banned-rng        no rand()/srand()/std::mt19937/std::random_device/...
+//                     outside src/util/rng.* — all randomness flows through the
+//                     seeded, splittable generators so walks stay reproducible.
+//   naked-new         no `new` expressions; ownership lives in containers and
+//                     smart pointers.
+//   reinterpret-arith no reinterpret_cast to a pointer type whose operand does
+//                     byte-pointer arithmetic (the unaligned-mmap-load pattern);
+//                     use a memcpy-based safe read or an alignment-checked span
+//                     helper instead.
+//
+// Comments and string/char literals are stripped before matching. A rule is
+// suppressed for one line by putting `fmlint:allow(rule-name)` in a comment on
+// that line. Exit status: 0 clean, 1 violations, 2 usage/IO error.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // repo-relative path
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Replaces comments and string/char literal contents with spaces, preserving
+// line structure, so keyword regexes only see real code.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += '"';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += '\'';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    lines.push_back(cur);
+  }
+  return lines;
+}
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard;
+  guard.reserve(rel_path.size() + 1);
+  for (char c : rel_path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+bool Suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("fmlint:allow(" + rule + ")") != std::string::npos;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  void LintFile(const fs::path& path) {
+    std::string rel = fs::relative(path, root_).generic_string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      Report(rel, 0, "io", "cannot read file");
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    std::vector<std::string> raw = SplitLines(text);
+    std::vector<std::string> code = SplitLines(StripCommentsAndStrings(text));
+    ++files_;
+
+    if (path.extension() == ".h") {
+      CheckIncludeGuard(rel, code, raw);
+    }
+    bool rng_exempt = rel == "src/util/rng.h" || rel == "src/util/rng.cc";
+    for (size_t i = 0; i < code.size(); ++i) {
+      const std::string& line = code[i];
+      const std::string& orig = i < raw.size() ? raw[i] : line;
+      if (!rng_exempt && std::regex_search(line, banned_rng_) &&
+          !Suppressed(orig, "banned-rng")) {
+        Report(rel, i + 1, "banned-rng",
+               "use the generators in src/util/rng.h (seeded, splittable) "
+               "instead of ad-hoc RNG");
+      }
+      if (std::regex_search(line, naked_new_) && line.find('#') == std::string::npos &&
+          !Suppressed(orig, "naked-new")) {
+        Report(rel, i + 1, "naked-new",
+               "no naked new; use containers or std::make_unique");
+      }
+      if (std::regex_search(line, reinterpret_arith_) &&
+          !Suppressed(orig, "reinterpret-arith")) {
+        Report(rel, i + 1, "reinterpret-arith",
+               "reinterpret_cast over byte arithmetic risks unaligned/UB loads; "
+               "memcpy the value out or use an alignment-checked helper");
+      }
+    }
+  }
+
+  void CheckIncludeGuard(const std::string& rel,
+                         const std::vector<std::string>& code,
+                         const std::vector<std::string>& raw) {
+    std::string expected = ExpectedGuard(rel);
+    std::regex ifndef_re(R"(^\s*#\s*ifndef\s+([A-Za-z0-9_]+))");
+    std::regex define_re(R"(^\s*#\s*define\s+([A-Za-z0-9_]+))");
+    std::smatch m;
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!std::regex_search(code[i], m, ifndef_re)) {
+        continue;
+      }
+      if (Suppressed(raw[i], "include-guard")) {
+        return;
+      }
+      if (m[1] != expected) {
+        Report(rel, i + 1, "include-guard",
+               "guard '" + m[1].str() + "' should be '" + expected + "'");
+        return;
+      }
+      if (i + 1 >= code.size() || !std::regex_search(code[i + 1], m, define_re) ||
+          m[1] != expected) {
+        Report(rel, i + 2, "include-guard",
+               "#define " + expected + " must immediately follow the #ifndef");
+      }
+      return;
+    }
+    Report(rel, 1, "include-guard", "missing include guard " + expected);
+  }
+
+  void Report(const std::string& rel, size_t line, const std::string& rule,
+              const std::string& message) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", rel.c_str(), line, rule.c_str(),
+                 message.c_str());
+    ++violations_;
+  }
+
+  int violations() const { return violations_; }
+  int files() const { return files_; }
+
+ private:
+  fs::path root_;
+  int violations_ = 0;
+  int files_ = 0;
+  // Word-boundary guard on the left so identifiers like `operand(` don't match.
+  std::regex banned_rng_{
+      R"((^|[^A-Za-z0-9_])(std\s*::\s*)?(rand|srand|rand_r|random|drand48|erand48|lrand48)\s*\()"
+      R"(|std\s*::\s*(mt19937|mt19937_64|minstd_rand0?|random_device|default_random_engine|ranlux\w*|knuth_b))"};
+  std::regex naked_new_{R"((^|[^A-Za-z0-9_.:>])new[\s(])"};
+  std::regex reinterpret_arith_{
+      R"(reinterpret_cast\s*<[^>]*\*[^>]*>\s*\([^;]*\+)"};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fmlint <repo-root>\n");
+    return 2;
+  }
+  fs::path root(argv[1]);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "fmlint: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+  Linter linter(root);
+  const char* kDirs[] = {"src", "tests", "bench", "tools", "examples"};
+  for (const char* dir : kDirs) {
+    fs::path sub = root / dir;
+    if (!fs::is_directory(sub)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      fs::path ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        linter.LintFile(entry.path());
+      }
+    }
+  }
+  if (linter.violations() > 0) {
+    std::fprintf(stderr, "fmlint: %d violation(s) in %d files\n",
+                 linter.violations(), linter.files());
+    return 1;
+  }
+  std::printf("fmlint: %d files clean\n", linter.files());
+  return 0;
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the repo's compile database and fail on any diagnostic.
+
+Invoked as a ctest test (lint_clang_tidy) when a clang-tidy binary is found at
+configure time; the CI lint job runs it the same way. Only first-party
+translation units (src/, tests/, tools/, bench/, examples/) are checked, and
+the .clang-tidy config at the repo root governs the check set.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-dir", required=True)
+    parser.add_argument("--jobs", type=int, default=0)
+    args = parser.parse_args()
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            database = json.load(f)
+    except OSError as e:
+        print(f"cannot read compile database: {e}", file=sys.stderr)
+        return 2
+
+    source_dir = os.path.realpath(args.source_dir)
+    first_party = tuple(
+        os.path.join(source_dir, d) + os.sep
+        for d in ("src", "tests", "tools", "bench", "examples")
+    )
+    files = sorted(
+        {
+            os.path.realpath(entry["file"])
+            for entry in database
+            if os.path.realpath(entry["file"]).startswith(first_party)
+        }
+    )
+    if not files:
+        print("no first-party files in compile database", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs or multiprocessing.cpu_count()
+    failures = 0
+    # Batch files per invocation; clang-tidy parallelism is per-process, so run
+    # several processes with one file each, `jobs` at a time.
+    running = []
+    queue = list(files)
+
+    def drain(block_all: bool) -> None:
+        nonlocal failures
+        while running and (block_all or len(running) >= jobs):
+            proc, name = running.pop(0)
+            out, _ = proc.communicate()
+            text = out.decode(errors="replace")
+            # clang-tidy exits nonzero on warnings-as-errors; also catch plain
+            # warnings in case a config drops WarningsAsErrors.
+            if proc.returncode != 0 or " warning:" in text or " error:" in text:
+                failures += 1
+                sys.stderr.write(f"== {name}\n{text}\n")
+
+    while queue or running:
+        if queue and len(running) < jobs:
+            f = queue.pop(0)
+            proc = subprocess.Popen(
+                [args.clang_tidy, "-p", args.build_dir, "--quiet", f],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+            )
+            running.append((proc, os.path.relpath(f, source_dir)))
+        else:
+            drain(block_all=False)
+    drain(block_all=True)
+
+    if failures:
+        print(f"clang-tidy: {failures} file(s) with diagnostics", file=sys.stderr)
+        return 1
+    print(f"clang-tidy: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
