@@ -13,6 +13,7 @@ namespace {
 struct Row {
   std::string graph;
   double flashmob = 0;
+  double flashmob_counts = 0;  // with streaming sharded visit counting on
   double knightking = 0;
   double graphvite = 0;
 };
@@ -33,6 +34,14 @@ Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite
   FlashMobEngine fmob(g, PerfEngineOptions());
   row.flashmob = fmob.Run(spec_for(g)).stats.PerStepNs();
 
+  // Same walk with the streaming sharded visit counter on: the counting rides
+  // inside the parallel placement/sample stages (merged once per episode), so
+  // the gap to the counts-off column is the full price of visit statistics.
+  EngineOptions counting_options = PerfEngineOptions();
+  counting_options.count_visits = true;
+  FlashMobEngine fmob_counts(g, counting_options);
+  row.flashmob_counts = fmob_counts.Run(spec_for(g)).stats.PerStepNs();
+
   BaselineOptions base_options;
   base_options.count_visits = false;
   KnightKingEngine knk(g, base_options);
@@ -46,14 +55,15 @@ Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite
 }
 
 void PrintRows(const std::vector<Row>& rows, bool with_graphvite) {
-  std::printf("%-5s %12s %12s", "graph", "FlashMob", "KnightKing");
+  std::printf("%-5s %12s %12s %12s", "graph", "FlashMob", "FM+counts",
+              "KnightKing");
   if (with_graphvite) {
     std::printf(" %12s", "GraphVite");
   }
   std::printf(" %10s\n", "speedup");
   for (const Row& row : rows) {
-    std::printf("%-5s %9.1f ns %9.1f ns", row.graph.c_str(), row.flashmob,
-                row.knightking);
+    std::printf("%-5s %9.1f ns %9.1f ns %9.1f ns", row.graph.c_str(),
+                row.flashmob, row.flashmob_counts, row.knightking);
     if (with_graphvite) {
       std::printf(" %9.1f ns", row.graphvite);
     }

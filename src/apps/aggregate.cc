@@ -4,10 +4,86 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/walk_observer.h"
 #include "src/util/logging.h"
 
 namespace fm {
 namespace {
+
+// Streams the strided post-burn-in positions out of the sample stage, so the
+// estimators never materialize paths (keep_paths stays off). Chunks land in
+// slots keyed by (sampled step, VP) — exactly one sample task writes each slot —
+// and slots merge in fixed order at episode end, so the collected sample
+// sequence is deterministic even though the sample tasks are dynamically
+// scheduled across workers.
+class StationarySampleObserver : public WalkObserver {
+ public:
+  StationarySampleObserver(uint32_t burn_in, uint32_t stride, uint32_t steps) {
+    for (uint32_t s = burn_in; s <= steps; s += stride) {
+      if (s == 0) {
+        want_row0_ = true;
+      } else {
+        // Path position s is produced by kernel step s - 1.
+        step_to_row_[s - 1] = num_rows_++;
+      }
+    }
+  }
+
+  void OnRunBegin(const WalkRunInfo& info) override {
+    num_vps_ = info.num_vps;
+    slots_.assign(static_cast<size_t>(num_rows_) * num_vps_, {});
+  }
+
+  void OnEpisodeBegin(uint64_t /*episode*/, Wid walkers,
+                      Wid /*base_walker*/) override {
+    if (want_row0_) {
+      row0_.assign(walkers, kInvalidVid);
+    }
+  }
+
+  void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
+                        uint32_t /*worker*/) override {
+    if (want_row0_) {
+      std::copy(positions.begin(), positions.end(), row0_.begin() + begin);
+    }
+  }
+
+  void OnSampleChunk(uint32_t step, uint32_t vp, std::span<const Vid> positions,
+                     uint32_t /*worker*/) override {
+    auto it = step_to_row_.find(step);
+    if (it == step_to_row_.end()) {
+      return;
+    }
+    auto& slot = slots_[static_cast<size_t>(it->second) * num_vps_ + vp];
+    for (Vid v : positions) {
+      if (v != kInvalidVid) {
+        slot.push_back(v);
+      }
+    }
+  }
+
+  void OnEpisodeEnd(uint64_t /*episode*/) override {
+    if (want_row0_) {
+      samples_.insert(samples_.end(), row0_.begin(), row0_.end());
+      row0_.clear();
+    }
+    for (auto& slot : slots_) {
+      samples_.insert(samples_.end(), slot.begin(), slot.end());
+      slot.clear();
+    }
+  }
+
+  std::vector<Vid> TakeSamples() { return std::move(samples_); }
+
+ private:
+  bool want_row0_ = false;
+  uint32_t num_rows_ = 0;
+  uint32_t num_vps_ = 0;
+  std::unordered_map<uint32_t, uint32_t> step_to_row_;
+  std::vector<std::vector<Vid>> slots_;  // (row, vp) sample buckets
+  std::vector<Vid> row0_;
+  std::vector<Vid> samples_;
+};
 
 // Stationary samples: walker positions after burn-in, strided to reduce serial
 // correlation. Walkers seed uniform-over-edges (the engine default), which IS the
@@ -20,20 +96,14 @@ std::vector<Vid> DrawStationarySamples(const CsrGraph& graph,
   spec.steps = options.steps;
   spec.num_walkers = options.walkers;
   spec.seed = options.seed;
-  FlashMobEngine engine(graph);
-  WalkResult result = engine.Run(spec);
-
-  std::vector<Vid> samples;
-  const uint32_t stride = 8;
-  for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
-    for (uint32_t s = options.burn_in; s <= options.steps; s += stride) {
-      Vid v = result.paths.At(w, s);
-      if (v != kInvalidVid) {
-        samples.push_back(v);
-      }
-    }
-  }
-  return samples;
+  spec.keep_paths = false;
+  EngineOptions engine_options;
+  engine_options.count_visits = false;
+  FlashMobEngine engine(graph, engine_options);
+  StationarySampleObserver sampler(options.burn_in, /*stride=*/8,
+                                   options.steps);
+  engine.Run(spec, {&sampler});
+  return sampler.TakeSamples();
 }
 
 }  // namespace

@@ -76,4 +76,16 @@ std::vector<uint64_t> CorpusTokenCounts(const PathSet& paths, Vid num_vertices,
   return counts;
 }
 
+std::vector<uint64_t> MapTokenCounts(const std::vector<uint64_t>& visit_counts,
+                                     Vid num_vertices,
+                                     const CorpusOptions& options) {
+  std::vector<uint64_t> counts(num_vertices, 0);
+  for (Vid v = 0; v < static_cast<Vid>(visit_counts.size()); ++v) {
+    if (visit_counts[v] != 0) {
+      counts[MapId(options, v)] += visit_counts[v];
+    }
+  }
+  return counts;
+}
+
 }  // namespace fm

@@ -33,6 +33,15 @@ uint64_t WriteSkipGramPairs(const PathSet& paths, const CorpusOptions& options,
 std::vector<uint64_t> CorpusTokenCounts(const PathSet& paths, Vid num_vertices,
                                         const CorpusOptions& options = {});
 
+// Same token frequencies from engine visit counts (e.g. a streaming
+// ShardedVisitCounter) instead of materialized paths: visit counts index the
+// walk graph's IDs; the result indexes post-id_map IDs. Token counts for a
+// walk equal CorpusTokenCounts over its paths — a terminated walker is
+// kInvalidVid for every later step, which neither tally includes.
+std::vector<uint64_t> MapTokenCounts(const std::vector<uint64_t>& visit_counts,
+                                     Vid num_vertices,
+                                     const CorpusOptions& options = {});
+
 }  // namespace fm
 
 #endif  // SRC_APPS_EMBEDDING_CORPUS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/core/walk_observer.h"
 #include "src/util/logging.h"
 
 namespace fm {
@@ -28,11 +29,18 @@ std::vector<double> EstimatePageRank(const CsrGraph& graph,
     spec.start_vertices = options.personalization;
   }
 
-  FlashMobEngine engine(graph);
-  WalkResult result = engine.Run(spec);
+  // Stream counts through an external sharded observer (the engine's built-in
+  // counting stays off): the estimator only ever needs the histogram, and the
+  // accumulation rides inside the parallel sample stages.
+  EngineOptions engine_options;
+  engine_options.count_visits = false;
+  FlashMobEngine engine(graph, engine_options);
+  ShardedVisitCounter counter(n);
+  engine.Run(spec, {&counter});
+  std::vector<uint64_t> visit_counts = counter.TakeCounts();
 
   uint64_t total = 0;
-  for (uint64_t c : result.visit_counts) {
+  for (uint64_t c : visit_counts) {
     total += c;
   }
   std::vector<double> rank(n, 0.0);
@@ -40,7 +48,7 @@ std::vector<double> EstimatePageRank(const CsrGraph& graph,
     return rank;
   }
   for (Vid v = 0; v < n; ++v) {
-    rank[v] = static_cast<double>(result.visit_counts[v]) /
+    rank[v] = static_cast<double>(visit_counts[v]) /
               static_cast<double>(total);
   }
   return rank;

@@ -33,6 +33,17 @@ std::vector<double> EstimateSimRankBatch(
     const CsrGraph& reverse, const std::vector<std::pair<Vid, Vid>>& pairs,
     const SimRankOptions& options = {});
 
+// Engine-backed batch variant: runs every sample of every pair as coupled
+// FlashMobEngine walkers over the (degree-sorted) reverse graph and resolves
+// first-meeting times with a streaming WalkObserver — the cache-efficient path
+// for large query batches. Same estimator semantics as EstimateSimRankBatch
+// (meeting after step t contributes decay^t; degree-0 positions and truncation
+// contribute 0), but a different sample stream, so estimates agree only
+// statistically.
+std::vector<double> EstimateSimRankBatchWalked(
+    const CsrGraph& reverse, const std::vector<std::pair<Vid, Vid>>& pairs,
+    const SimRankOptions& options = {});
+
 // Exact fixed-point iteration over all pairs; O(iterations * |E|^2 / |V|) time and
 // O(|V|^2) memory — test oracle for small graphs.
 std::vector<std::vector<double>> ExactSimRank(const CsrGraph& graph,

@@ -103,7 +103,7 @@ WalkResult GraphViteEngine::RunImpl(const WalkSpec& spec, Hook& hook,
   result.stats.times.sample_s = walk_timer.Elapsed();
 
   if (options_.count_visits) {
-    result.visit_counts = paths.VisitCounts(n);
+    result.visit_counts = paths.VisitCounts(n);  // fmlint:allow(visit-counts-mut) baseline engine fills its own result
   }
   if (spec.keep_paths) {
     result.paths = std::move(paths);

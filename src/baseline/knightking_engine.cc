@@ -68,7 +68,7 @@ WalkResult KnightKingEngine::RunImpl(const WalkSpec& spec, Hook& hook,
       static_cast<double>(walkers) / std::max<double>(1.0, static_cast<double>(m));
   result.stats.episodes = 1;
   if (options_.count_visits) {
-    result.visit_counts.assign(n, 0);
+    result.visit_counts.assign(n, 0);  // fmlint:allow(visit-counts-mut) baseline engine fills its own result
   }
 
   // Walkers advance in lockstep rounds, each processed one by one within its
@@ -119,7 +119,7 @@ WalkResult KnightKingEngine::RunImpl(const WalkSpec& spec, Hook& hook,
   result.stats.times.sample_s = walk_timer.Elapsed();
 
   if (options_.count_visits) {
-    result.visit_counts = paths.VisitCounts(n);
+    result.visit_counts = paths.VisitCounts(n);  // fmlint:allow(visit-counts-mut) baseline engine fills its own result
   }
   if (spec.keep_paths) {
     result.paths = std::move(paths);

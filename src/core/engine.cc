@@ -1,10 +1,12 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
-#include <cstring>
+#include <optional>
 
-#include "src/core/sample_stage.h"
 #include "src/core/shuffle.h"
+#include "src/core/step_kernel.h"
+#include "src/core/walk_observer.h"
+#include "src/core/walker_state.h"
 #include "src/graph/degree_sort.h"
 #include "src/util/env.h"
 #include "src/util/logging.h"
@@ -13,13 +15,6 @@
 
 namespace fm {
 namespace {
-
-// Vertex owning cumulative-edge position `pos` (degree-proportional placement:
-// "initially placed by uniformly sampling among all edges", §3).
-inline Vid VertexOfEdgePos(std::span<const Eid> offsets, Eid pos) {
-  auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
-  return static_cast<Vid>((it - offsets.begin()) - 1);
-}
 
 // Streaming-pass model for the shuffle stage under instrumentation: every cache
 // line of the array is touched exactly once per pass, which is the shuffle's actual
@@ -71,17 +66,8 @@ const PartitionPlan& FlashMobEngine::plan() const {
 }
 
 Wid FlashMobEngine::EpisodeWalkers(const WalkSpec& spec) const {
-  Wid total = spec.num_walkers != 0 ? spec.num_walkers : graph_.num_vertices();
-  // Walker-state bytes per walker: all W_i rows when keeping paths, else the
-  // rotating prev/cur/next triple; plus the SW scratch (and its aux for node2vec).
-  uint64_t per_walker =
-      spec.keep_paths ? (static_cast<uint64_t>(spec.steps) + 3) * sizeof(Vid)
-                      : 6 * sizeof(Vid);
-  if (spec.algorithm == WalkAlgorithm::kNode2Vec) {
-    per_walker += 2 * sizeof(Vid);
-  }
-  Wid cap = std::max<Wid>(options_.dram_budget_bytes / per_walker, 1024);
-  return std::min(total, cap);
+  return EpisodeCapacity(spec, options_.dram_budget_bytes,
+                         graph_.num_vertices());
 }
 
 void FlashMobEngine::EnsurePlan(const WalkSpec& spec, Wid episode_walkers) {
@@ -94,22 +80,33 @@ void FlashMobEngine::EnsurePlan(const WalkSpec& spec, Wid episode_walkers) {
 }
 
 WalkResult FlashMobEngine::Run(const WalkSpec& spec) {
+  return Run(spec, {});
+}
+
+WalkResult FlashMobEngine::Run(const WalkSpec& spec,
+                               const std::vector<WalkObserver*>& observers) {
   NullMemHook hook;
-  return RunImpl(spec, hook, /*single_thread=*/false);
+  return RunImpl(spec, hook, /*single_thread=*/false, observers);
 }
 
 WalkResult FlashMobEngine::RunInstrumented(const WalkSpec& spec,
                                            CacheHierarchy* sim) {
+  return RunInstrumented(spec, sim, {});
+}
+
+WalkResult FlashMobEngine::RunInstrumented(
+    const WalkSpec& spec, CacheHierarchy* sim,
+    const std::vector<WalkObserver*>& observers) {
   CacheSimHook hook(sim);
-  return RunImpl(spec, hook, /*single_thread=*/true);
+  return RunImpl(spec, hook, /*single_thread=*/true, observers);
 }
 
 template <typename Hook>
-WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
-                                   bool single_thread) {
+WalkResult FlashMobEngine::RunImpl(
+    const WalkSpec& spec, Hook& hook, bool single_thread,
+    const std::vector<WalkObserver*>& observers) {
   const Vid n = graph_.num_vertices();
   const Eid m = graph_.num_edges();
-  const bool node2vec = spec.algorithm == WalkAlgorithm::kNode2Vec;
   FM_CHECK_MSG(spec.track_identity || !spec.keep_paths,
                "keep_paths requires track_identity (paths are per-walker)");
   FM_CHECK_MSG(!spec.use_edge_weights || graph_.weighted(),
@@ -117,6 +114,9 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
   FM_CHECK_MSG(!(spec.use_edge_weights &&
                  spec.algorithm != WalkAlgorithm::kDeepWalk),
                "edge weights are only supported for first-order uniform walks");
+  for (Vid v : spec.start_vertices) {
+    FM_CHECK_MSG(v < n, "start vertex out of range");
+  }
   if (spec.use_edge_weights && alias_tables_ == nullptr) {
     alias_tables_ = std::make_unique<VertexAliasTables>(graph_);
   }
@@ -132,9 +132,23 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
   Wid episode_cap = EpisodeWalkers(spec);
 
   WalkResult result;
+
+  // Sink list = caller's observers plus the engine's own visit counter; the
+  // counting rides inside the same parallel stages as any external sink.
+  std::vector<WalkObserver*> sinks(observers.begin(), observers.end());
+  std::optional<ShardedVisitCounter> counter;
   if (options_.count_visits) {
-    result.visit_counts.assign(n, 0);
+    counter.emplace(n);
+    sinks.push_back(&*counter);
   }
+  std::vector<WalkObserver*> walker_sinks;
+  for (WalkObserver* sink : sinks) {
+    if (sink->WantsWalkerChunks()) {
+      walker_sinks.push_back(sink);
+    }
+  }
+  FM_CHECK_MSG(walker_sinks.empty() || spec.track_identity,
+               "walker-order observers require track_identity");
 
   // Plan construction is pre-processing (excluded from walk-time accounting, as the
   // paper excludes its 0.04%-0.7% pre-processing overhead from per-step times).
@@ -143,132 +157,81 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
   Timer other_timer;
   Shuffler shuffler(&*plan_, pool);
   PresampleBuffers presample(graph_, *plan_);
+  StepKernel<Hook> kernel(graph_, spec, *plan_, &presample, alias);
   const uint32_t num_vps = plan_->num_vps();
   result.stats.vp_walker_steps.assign(num_vps, 0);
+  const uint64_t num_episodes =
+      (total_walkers + episode_cap - 1) / std::max<Wid>(episode_cap, 1);
   result.stats.walker_density =
-      static_cast<double>(std::min(total_walkers, episode_cap)) /
+      (static_cast<double>(total_walkers) /
+       static_cast<double>(std::max<uint64_t>(num_episodes, 1))) /
       std::max<double>(1.0, static_cast<double>(m));
+
+  WalkRunInfo run_info;
+  run_info.num_vertices = n;
+  run_info.steps = spec.steps;
+  run_info.total_walkers = total_walkers;
+  run_info.num_workers = pool->thread_count();
+  run_info.num_vps = num_vps;
+  run_info.pool = pool;
+  for (WalkObserver* sink : sinks) {
+    sink->OnRunBegin(run_info);
+  }
   result.stats.times.other_s += other_timer.Elapsed();
 
   Wid remaining = total_walkers;
   uint64_t episode = 0;
   while (remaining > 0) {
     Wid w = std::min(remaining, episode_cap);
+    const Wid base_walker = total_walkers - remaining;
     remaining -= w;
 
+    // ---- place: walker storage + initial positions ---------------------------
     other_timer.Start();
-    // Episode walker storage. With keep_paths the PathSet rows are the W_i arrays;
-    // otherwise three rotating rows.
-    PathSet paths(spec.keep_paths ? w : 0, spec.keep_paths ? spec.steps : 0);
-    std::vector<Vid> rot_a, rot_b, rot_c;
-    if (!spec.keep_paths) {
-      rot_a.resize(w);
-      rot_b.resize(w);
-      if (node2vec) {
-        if (identity_free) {
-          // rot_b carries predecessors alongside rot_a; first step has none.
-          std::fill(rot_b.begin(), rot_b.end(), kInvalidVid);
-        } else {
-          rot_c.resize(w);
-        }
-      }
+    WalkerState state(graph_, spec, w);
+    for (WalkObserver* sink : sinks) {
+      sink->OnEpisodeBegin(episode, w, base_walker);
     }
-    std::vector<Vid> sw(w);
-    std::vector<Vid> sw_prev(node2vec ? w : 0);
-
-    Vid* w_cur = spec.keep_paths ? paths.Row(0).data() : rot_a.data();
-    if (!spec.start_vertices.empty()) {
-      // Seeded placement: walker j (global index, consistent across episodes)
-      // starts at start_vertices[j % size()].
-      const Wid base = total_walkers - (remaining + w);
-      const auto& starts = spec.start_vertices;
-      for (Vid v : starts) {
-        FM_CHECK_MSG(v < n, "start vertex out of range");
-      }
-      pool->ParallelChunks(w, [&](uint64_t begin, uint64_t end, uint32_t) {
-        for (Wid j = begin; j < end; ++j) {
-          w_cur[j] = starts[(base + j) % starts.size()];
-        }
-      });
-    } else {
-    // Degree-proportional initial placement ("uniformly sampling among all edges",
-    // §3). Walker j draws a jittered edge position within its own 1/w slice of the
-    // edge array; positions are monotone in j, so one sequential sweep of the CSR
-    // offsets resolves every owner — O(1) per walker, no binary searches. The
-    // aggregate marginal distribution over edges is exactly uniform.
-    pool->ParallelChunks(w, [&](uint64_t begin, uint64_t end, uint32_t) {
-      XorShiftRng rng(DeriveSeed(spec.seed, 0x1A17ULL ^ (episode << 20) ^ begin));
-      if (m == 0) {
-        for (Wid j = begin; j < end; ++j) {
-          w_cur[j] = static_cast<Vid>(rng.NextBounded(n));
-        }
-        return;
-      }
-      double edges_per_walker = static_cast<double>(m) / static_cast<double>(w);
-      Eid pos0 = static_cast<Eid>(static_cast<double>(begin) * edges_per_walker);
-      Vid v = VertexOfEdgePos(graph_.offsets(), std::min<Eid>(pos0, m - 1));
-      const Eid* offsets = graph_.offsets().data();
-      for (Wid j = begin; j < end; ++j) {
-        Eid pos = static_cast<Eid>(
-            (static_cast<double>(j) + rng.NextDouble()) * edges_per_walker);
-        pos = std::min<Eid>(pos, m - 1);
-        while (offsets[v + 1] <= pos) {
-          ++v;
-        }
-        w_cur[j] = v;
-      }
-    });
-    }
+    state.Place(pool, episode, base_walker, sinks);
     if constexpr (Hook::kEnabled) {
-      TouchStreaming(hook.sim(), w_cur, w * sizeof(Vid));
-    }
-    if (options_.count_visits && !spec.keep_paths) {
-      for (Wid j = 0; j < w; ++j) {
-        ++result.visit_counts[w_cur[j]];
-      }
+      TouchStreaming(hook.sim(), state.cur(), w * sizeof(Vid));
     }
     // Note: pre-sample buffers deliberately persist across episodes — leftover
     // samples are still i.i.d. draws, and discarding them would waste the refill
     // work (they start empty via the constructor).
     result.stats.times.other_s += other_timer.Elapsed();
 
-    Vid* w_prev = nullptr;  // W_{i-1} (node2vec predecessor source)
-    // Rotation targets when rows are not kept: `free_buf` receives the next gather;
-    // after the step the oldest row becomes free.
-    Vid* free_buf = spec.keep_paths ? nullptr : rot_b.data();
-    Vid* free_buf2 = (!spec.keep_paths && node2vec) ? rot_c.data() : nullptr;
     for (uint32_t step = 0; step < spec.steps; ++step) {
       // ---- shuffle: W_i -> SW --------------------------------------------------
       Timer shuffle_timer;
-      const Vid* aux =
-          node2vec ? (identity_free ? rot_b.data() : w_prev) : nullptr;
-      shuffler.Scatter(w_cur, aux, w, sw.data(),
-                       aux != nullptr ? sw_prev.data() : nullptr);
+      const Vid* aux = state.scatter_aux();
+      shuffler.Scatter(state.cur(), aux, w, state.sw(),
+                       aux != nullptr ? state.sw_prev() : nullptr);
       // Walker-count conservation: the scatter must account for every walker
       // (live ones in VP chunks, dead ones in the trailing bin) — losing or
       // duplicating one here silently corrupts identity for the whole episode.
       FM_DCHECK_EQ(shuffler.vp_offsets().back(), w);
       FM_DCHECK_EQ(
-          static_cast<Wid>(std::count(w_cur, w_cur + w, kInvalidVid)),
+          static_cast<Wid>(std::count(state.cur(), state.cur() + w,
+                                      kInvalidVid)),
           shuffler.dead_count());
-      if (node2vec && aux == nullptr) {
-        // First step of an identity-tracked node2vec episode: no predecessors yet;
-        // the kernel treats kInvalidVid as "take a uniform first-order step".
-        std::fill(sw_prev.begin(), sw_prev.end(), kInvalidVid);
-      }
+      state.AfterScatter(aux);
       if constexpr (Hook::kEnabled) {
         // Two passes over W (count + scatter), one over SW; aux doubles both.
         CacheHierarchy* sim = hook.sim();
-        TouchStreaming(sim, w_cur, w * sizeof(Vid));
-        TouchStreaming(sim, w_cur, w * sizeof(Vid));
-        TouchStreaming(sim, sw.data(), w * sizeof(Vid));
+        TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+        TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+        TouchStreaming(sim, state.sw(), w * sizeof(Vid));
       }
-      result.stats.times.shuffle_s += shuffle_timer.Elapsed();
+      const double scatter_s = shuffle_timer.Elapsed();
+      result.stats.times.shuffle_s += scatter_s;
 
       // ---- sample: one task per VP --------------------------------------------
       Timer sample_timer;
       const auto& vp_offsets = shuffler.vp_offsets();
-      pool->ParallelFor(num_vps, [&](uint64_t vp_i, uint32_t) {
+      Vid* sw = state.sw();
+      Vid* sw_prev = state.sw_prev();
+      pool->ParallelFor(num_vps, [&](uint64_t vp_i, uint32_t worker) {
         Wid begin = vp_offsets[vp_i];
         Wid end = vp_offsets[vp_i + 1];
         if (begin == end) {
@@ -277,104 +240,99 @@ WalkResult FlashMobEngine::RunImpl(const WalkSpec& spec, Hook& hook,
         XorShiftRng rng(DeriveSeed(
             spec.seed, 0x5A3FULL ^ (episode << 44) ^
                            (static_cast<uint64_t>(step) << 24) ^ vp_i));
-        const VertexPartition& vp = plan_->vp(static_cast<uint32_t>(vp_i));
-        if (node2vec) {
-          SampleVpNode2Vec(graph_, vp, spec.node2vec, sw.data() + begin,
-                           sw_prev.data() + begin, end - begin,
-                           spec.stop_probability, identity_free, rng, hook);
-        } else if (spec.algorithm == WalkAlgorithm::kMetropolisHastings) {
-          SampleVpMetropolis(graph_, sw.data() + begin, end - begin,
-                             spec.stop_probability, rng, hook);
-        } else {
-          SampleVpFirstOrder(graph_, static_cast<uint32_t>(vp_i), vp, &presample,
-                             sw.data() + begin, end - begin,
-                             spec.stop_probability, alias, rng, hook);
+        kernel.SampleVp(static_cast<uint32_t>(vp_i), sw + begin,
+                        sw_prev != nullptr ? sw_prev + begin : nullptr,
+                        end - begin, spec.stop_probability, rng, hook);
+        std::span<const Vid> chunk(sw + begin, end - begin);
+        for (WalkObserver* sink : sinks) {
+          sink->OnSampleChunk(step, static_cast<uint32_t>(vp_i), chunk, worker);
         }
         result.stats.vp_walker_steps[vp_i] += end - begin;
       });
       result.stats.total_steps += vp_offsets[num_vps] - vp_offsets[0];
-      result.stats.times.sample_s += sample_timer.Elapsed();
+      const double sample_s = sample_timer.Elapsed();
+      result.stats.times.sample_s += sample_s;
 
+      double gather_s = 0;
       if (identity_free) {
         // Extension: no reverse shuffle. The sampled SW (and, for node2vec, the
         // kernel-updated predecessor stream) simply becomes the next walker array;
         // identity is lost but every aggregate statistic is preserved.
         other_timer.Start();
-        if (options_.count_visits) {
-          for (Vid v : sw) {
-            if (v != kInvalidVid) {
-              ++result.visit_counts[v];
-            }
-          }
-        }
-        std::swap(rot_a, sw);
-        w_cur = rot_a.data();
-        if (node2vec) {
-          std::swap(rot_b, sw_prev);
-        }
+        state.AdvanceIdentityFree();
         result.stats.times.other_s += other_timer.Elapsed();
-        continue;
-      }
-
-      // ---- reverse shuffle: SW -> W_{i+1} --------------------------------------
-      shuffle_timer.Start();
-      Vid* w_next = spec.keep_paths ? paths.Row(step + 1).data() : free_buf;
-      shuffler.Gather(w_cur, w, sw.data(), w_next, nullptr, nullptr);
-      // Dead-walker monotonicity: the gather delivers every walker the scatter
-      // parked dead, plus any the sample stage just killed — the dead population
-      // can only grow (a dead walker never resurrects).
-      FM_DCHECK_GE(
-          static_cast<Wid>(std::count(w_next, w_next + w, kInvalidVid)),
-          shuffler.dead_count());
-      if constexpr (Hook::kEnabled) {
-        CacheHierarchy* sim = hook.sim();
-        TouchStreaming(sim, w_cur, w * sizeof(Vid));
-        TouchStreaming(sim, sw.data(), w * sizeof(Vid));
-        TouchStreaming(sim, w_next, w * sizeof(Vid));
-      }
-      result.stats.times.shuffle_s += shuffle_timer.Elapsed();
-
-      other_timer.Start();
-      if (options_.count_visits && !spec.keep_paths) {
-        for (Wid j = 0; j < w; ++j) {
-          if (w_next[j] != kInvalidVid) {
-            ++result.visit_counts[w_next[j]];
-          }
-        }
-      }
-      // Rotate rows: prev <- cur <- next; the oldest buffer becomes free.
-      if (spec.keep_paths) {
-        w_prev = w_cur;
-        w_cur = w_next;
-      } else if (node2vec) {
-        Vid* old_prev = w_prev;
-        w_prev = w_cur;
-        w_cur = w_next;
-        free_buf = (old_prev != nullptr) ? old_prev : free_buf2;
       } else {
-        free_buf = w_cur;
-        w_cur = w_next;
+        // ---- reverse shuffle: SW -> W_{i+1} ------------------------------------
+        shuffle_timer.Start();
+        Vid* w_next = state.GatherTarget(step);
+        shuffler.Gather(state.cur(), w, state.sw(), w_next, nullptr, nullptr);
+        // Dead-walker monotonicity: the gather delivers every walker the scatter
+        // parked dead, plus any the sample stage just killed — the dead population
+        // can only grow (a dead walker never resurrects).
+        FM_DCHECK_GE(
+            static_cast<Wid>(std::count(w_next, w_next + w, kInvalidVid)),
+            shuffler.dead_count());
+        if constexpr (Hook::kEnabled) {
+          CacheHierarchy* sim = hook.sim();
+          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+          TouchStreaming(sim, state.sw(), w * sizeof(Vid));
+          TouchStreaming(sim, w_next, w * sizeof(Vid));
+        }
+        gather_s = shuffle_timer.Elapsed();
+        result.stats.times.shuffle_s += gather_s;
+
+        other_timer.Start();
+        if (!walker_sinks.empty()) {
+          // Extra walker-order pass for sinks that asked for it.
+          pool->ParallelChunks(
+              w, [&](uint64_t begin, uint64_t end, uint32_t worker) {
+                std::span<const Vid> chunk(w_next + begin, end - begin);
+                for (WalkObserver* sink : walker_sinks) {
+                  sink->OnWalkerChunk(step, static_cast<Wid>(begin), chunk,
+                                      worker);
+                }
+              });
+        }
+        state.AdvanceTracked(step);
+        result.stats.times.other_s += other_timer.Elapsed();
       }
-      result.stats.times.other_s += other_timer.Elapsed();
+
+      if (options_.record_step_stats) {
+        StepStageRecord rec;
+        rec.episode = episode;
+        rec.step = step;
+        rec.scatter_s = scatter_s;
+        rec.sample_s = sample_s;
+        rec.gather_s = gather_s;
+        rec.live_walkers = vp_offsets[num_vps] - vp_offsets[0];
+        rec.vp_walkers.resize(num_vps);
+        for (uint32_t i = 0; i < num_vps; ++i) {
+          rec.vp_walkers[i] = vp_offsets[i + 1] - vp_offsets[i];
+        }
+        result.stats.step_records.push_back(std::move(rec));
+      }
     }
 
     other_timer.Start();
     if (spec.keep_paths) {
-      if (options_.count_visits) {
-        for (uint32_t s = 0; s <= spec.steps; ++s) {
-          for (Vid v : paths.Row(s)) {
-            if (v != kInvalidVid) {
-              ++result.visit_counts[v];
-            }
-          }
-        }
-      }
-      result.paths.Append(std::move(paths));
+      result.paths.Append(state.TakePaths());
+    }
+    for (WalkObserver* sink : sinks) {
+      sink->OnEpisodeEnd(episode);
     }
     ++result.stats.episodes;
     result.stats.times.other_s += other_timer.Elapsed();
     ++episode;
   }
+
+  other_timer.Start();
+  for (WalkObserver* sink : sinks) {
+    sink->OnRunEnd();
+  }
+  if (counter.has_value()) {
+    result.visit_counts = counter->TakeCounts();
+  }
+  result.stats.times.other_s += other_timer.Elapsed();
   return result;
 }
 

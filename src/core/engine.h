@@ -1,5 +1,10 @@
 // FlashMobEngine — the paper's primary contribution assembled (§3, §4).
 //
+// The engine is a thin pipeline orchestrator over three layers:
+//   walker_state.h   episode buffers, sizing, placement, row rotation
+//   step_kernel.h    uniform per-VP kernel dispatch over the §4.2 kernels
+//   walk_observer.h  streaming sinks fed inside the parallel stages
+//
 // Per walk iteration:
 //   shuffle  : Scatter W_i (walker order) into SW (partition order)        [§4.3]
 //   sample   : one task per VP moves its walkers one step, in place        [§4.2]
@@ -8,6 +13,8 @@
 // The W_i rows double as the full path history; walkers are split into episodes
 // sized to the DRAM budget (§5.1). The partition plan comes from the MCKP DP (§4.4)
 // unless overridden (the Fig 9 ablations inject uniform/manual plans).
+// Visit counts accumulate in per-worker shards inside the placement and sample
+// tasks (no serial per-step pass) and merge once per episode.
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
@@ -26,6 +33,8 @@
 
 namespace fm {
 
+class WalkObserver;
+
 struct StageTimes {
   double sample_s = 0;
   double shuffle_s = 0;
@@ -33,14 +42,31 @@ struct StageTimes {
   double Total() const { return sample_s + shuffle_s + other_s; }
 };
 
+// Structured per-step stage record (EngineOptions::record_step_stats): one per
+// (episode, step) with per-stage seconds and the per-VP walker distribution —
+// the granular view the run-level StageTimes aggregates away.
+struct StepStageRecord {
+  uint64_t episode = 0;
+  uint32_t step = 0;
+  double scatter_s = 0;
+  double sample_s = 0;
+  double gather_s = 0;          // 0 in identity-free mode (no reverse shuffle)
+  Wid live_walkers = 0;         // walkers the sample stage moved this step
+  std::vector<Wid> vp_walkers;  // walkers per VP chunk this step
+};
+
 struct WalkStats {
   uint64_t total_steps = 0;  // walker-steps executed
   StageTimes times;
   uint32_t episodes = 0;
-  double walker_density = 0;  // walkers per edge within an episode
+  // Mean episode size in walkers per edge (the density the plan is sized for).
+  double walker_density = 0;
 
   // Walker-steps served by each VP (Fig 10b's weighting), indexed by plan VP.
   std::vector<uint64_t> vp_walker_steps;
+
+  // Per-step stage records; empty unless EngineOptions::record_step_stats.
+  std::vector<StepStageRecord> step_records;
 
   double PerStepNs() const {
     return total_steps == 0 ? 0 : times.Total() * 1e9 / static_cast<double>(total_steps);
@@ -61,9 +87,12 @@ struct EngineOptions {
   // (default 4096 MB).
   uint64_t dram_budget_bytes = 0;
   ThreadPool* pool = nullptr;  // nullptr = ThreadPool::Global()
-  // Accumulate per-vertex visit counts (adds one streaming pass per step when paths
-  // are not kept; benches measuring pure walk speed turn it off).
+  // Accumulate per-vertex visit counts via an internal sharded observer (the
+  // accumulation rides inside the parallel stages; benches measuring pure walk
+  // speed turn it off to also skip the per-episode merge).
   bool count_visits = true;
+  // Record a StepStageRecord per (episode, step) in WalkStats::step_records.
+  bool record_step_stats = false;
 };
 
 class FlashMobEngine {
@@ -81,10 +110,18 @@ class FlashMobEngine {
 
   WalkResult Run(const WalkSpec& spec);
 
+  // Streaming variant: each observer's chunk callbacks fire inside the
+  // parallel placement / sample / (optionally) gather stages — see
+  // walk_observer.h for the exact contract. Observers must outlive the call.
+  WalkResult Run(const WalkSpec& spec,
+                 const std::vector<WalkObserver*>& observers);
+
   // Single-threaded run feeding every sample-stage access (and a streaming model of
   // the shuffle passes) through `sim` (Table 5 / Fig 1b). Workloads should be small;
   // simulation is ~100x slower than the real walk.
   WalkResult RunInstrumented(const WalkSpec& spec, CacheHierarchy* sim);
+  WalkResult RunInstrumented(const WalkSpec& spec, CacheHierarchy* sim,
+                             const std::vector<WalkObserver*>& observers);
 
   // Walkers per episode for a given spec (exposed for the NUMA modes / tests).
   Wid EpisodeWalkers(const WalkSpec& spec) const;
@@ -93,7 +130,8 @@ class FlashMobEngine {
 
  private:
   template <typename Hook>
-  WalkResult RunImpl(const WalkSpec& spec, Hook& hook, bool single_thread);
+  WalkResult RunImpl(const WalkSpec& spec, Hook& hook, bool single_thread,
+                     const std::vector<WalkObserver*>& observers);
 
   void EnsurePlan(const WalkSpec& spec, Wid episode_walkers);
 

@@ -1,0 +1,171 @@
+// Streaming WalkObserver sinks — the engine's consumer-facing layer.
+//
+// Observers receive walker positions *inside* the engine's parallel stages, as
+// they are produced, instead of scanning materialized outputs afterwards:
+//
+//   OnPlacementChunk  inside the parallel placement loop (walker order, row 0)
+//   OnSampleChunk     inside the per-VP sample tasks, right after the kernel
+//                     (partition order, post-step positions, fresh kills are
+//                     kInvalidVid; the dead bin is never delivered)
+//   OnWalkerChunk     after the reverse shuffle, in walker order (only for
+//                     observers that return WantsWalkerChunks() — costs one
+//                     extra parallel pass per step and requires track_identity)
+//
+// Thread-safety contract: the chunk callbacks above run concurrently on worker
+// threads; a single callback invocation only ever covers a range no other
+// concurrent invocation covers, and `worker` < WalkRunInfo::num_workers is a
+// stable shard key (ParallelChunks pins chunk i to worker i; sample tasks are
+// dynamically scheduled, so per-worker state must be order-independent).
+// OnRunBegin / OnEpisodeBegin / OnEpisodeEnd / OnRunEnd are serial and
+// happen-before / happen-after all parallel callbacks of their scope; episode
+// merges belong in OnEpisodeEnd. See DESIGN.md "Engine layering".
+#ifndef SRC_CORE_WALK_OBSERVER_H_
+#define SRC_CORE_WALK_OBSERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/path_set.h"
+#include "src/util/types.h"
+
+namespace fm {
+
+class ThreadPool;
+
+// Immutable per-run facts handed to every observer before the first episode.
+// `pool` stays valid for the whole run but may only be used from the serial
+// callbacks (it is the engine's own pool — never submit to it from inside a
+// parallel chunk callback).
+struct WalkRunInfo {
+  Vid num_vertices = 0;
+  uint32_t steps = 0;
+  Wid total_walkers = 0;
+  uint32_t num_workers = 1;  // shard-array size for per-thread accumulation
+  uint32_t num_vps = 0;
+  ThreadPool* pool = nullptr;
+};
+
+class WalkObserver {
+ public:
+  virtual ~WalkObserver() = default;
+
+  // Serial, once per Run, before any episode.
+  virtual void OnRunBegin(const WalkRunInfo& info) { (void)info; }
+
+  // Serial, before the episode's parallel placement. `base_walker` is the
+  // global index of the episode's first walker (chunk callbacks report
+  // episode-local offsets; add base_walker for run-global walker ids).
+  virtual void OnEpisodeBegin(uint64_t episode, Wid walkers, Wid base_walker) {
+    (void)episode;
+    (void)walkers;
+    (void)base_walker;
+  }
+
+  // Parallel. positions[i] is the start vertex of episode-local walker
+  // begin + i (never kInvalidVid).
+  virtual void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
+                                uint32_t worker) {
+    (void)begin;
+    (void)positions;
+    (void)worker;
+  }
+
+  // Parallel, inside the sample stage, after the kernel moved `vp`'s walker
+  // chunk one step. positions are the post-step locations in partition order
+  // (kInvalidVid = terminated on this step). Walkers already dead before the
+  // step are not delivered. `step` is 0-based; positions correspond to path
+  // row step + 1.
+  virtual void OnSampleChunk(uint32_t step, uint32_t vp,
+                             std::span<const Vid> positions, uint32_t worker) {
+    (void)step;
+    (void)vp;
+    (void)positions;
+    (void)worker;
+  }
+
+  // Opt-in to OnWalkerChunk. Forces one extra parallel pass per step and is
+  // only legal when spec.track_identity is set (the engine aborts otherwise).
+  virtual bool WantsWalkerChunks() const { return false; }
+
+  // Parallel. positions[i] is episode-local walker begin + i's location after
+  // `step` (kInvalidVid once the walker has terminated).
+  virtual void OnWalkerChunk(uint32_t step, Wid begin,
+                             std::span<const Vid> positions, uint32_t worker) {
+    (void)step;
+    (void)begin;
+    (void)positions;
+    (void)worker;
+  }
+
+  // Serial merge points.
+  virtual void OnEpisodeEnd(uint64_t episode) { (void)episode; }
+  virtual void OnRunEnd() {}
+};
+
+// Per-vertex visit counting with per-worker shards, merged once per episode on
+// the engine's pool. Replaces the engine's former serial O(walkers) counting
+// loops: every addition happens inside the placement / sample tasks that
+// produced the position, and uint64 addition is order-independent, so the
+// merged counts are bit-identical to the old serial accumulation. Memory cost
+// is num_workers x |V| x 8 bytes for the shards (fine at this repo's scale;
+// revisit with cache-partitioned shards if |V| x threads outgrows DRAM).
+class ShardedVisitCounter : public WalkObserver {
+ public:
+  explicit ShardedVisitCounter(Vid num_vertices);
+
+  void OnRunBegin(const WalkRunInfo& info) override;
+  void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
+                        uint32_t worker) override;
+  void OnSampleChunk(uint32_t step, uint32_t vp, std::span<const Vid> positions,
+                     uint32_t worker) override;
+  void OnEpisodeEnd(uint64_t episode) override;
+
+  // Merged counts; valid after the run (counts accumulate across runs until
+  // TakeCounts()).
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  std::vector<uint64_t> TakeCounts();
+
+  // Exposed for stress tests: merge all shards into counts() immediately
+  // (serially when `pool` is null).
+  void MergeShards(ThreadPool* pool);
+
+ private:
+  void Accumulate(std::span<const Vid> positions, uint32_t worker);
+
+  Vid num_vertices_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<uint64_t> counts_;
+  std::vector<std::vector<uint64_t>> shards_;  // one per worker
+};
+
+// Full path capture as a plain observer: reconstructs the PathSet a
+// keep_paths run would produce (bit-identical rows) from the placement and
+// walker-order streams, without the engine materializing rows itself. Lets
+// consumers combine path capture with keep_paths == false engines, or tee
+// paths alongside other sinks. Requires track_identity.
+class PathSetSink : public WalkObserver {
+ public:
+  PathSetSink() = default;
+
+  void OnRunBegin(const WalkRunInfo& info) override;
+  void OnEpisodeBegin(uint64_t episode, Wid walkers, Wid base_walker) override;
+  void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
+                        uint32_t worker) override;
+  bool WantsWalkerChunks() const override { return true; }
+  void OnWalkerChunk(uint32_t step, Wid begin, std::span<const Vid> positions,
+                     uint32_t worker) override;
+  void OnEpisodeEnd(uint64_t episode) override;
+
+  const PathSet& paths() const { return paths_; }
+  PathSet TakePaths();
+
+ private:
+  uint32_t steps_ = 0;
+  PathSet paths_;          // completed episodes
+  PathSet episode_paths_;  // episode under construction
+};
+
+}  // namespace fm
+
+#endif  // SRC_CORE_WALK_OBSERVER_H_

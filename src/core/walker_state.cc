@@ -1,0 +1,186 @@
+#include "src/core/walker_state.h"
+
+#include <algorithm>
+
+#include "src/core/walk_observer.h"
+#include "src/graph/csr_graph.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace fm {
+namespace {
+
+// Vertex owning cumulative-edge position `pos` (degree-proportional placement:
+// "initially placed by uniformly sampling among all edges", §3).
+inline Vid VertexOfEdgePos(std::span<const Eid> offsets, Eid pos) {
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), pos);
+  return static_cast<Vid>((it - offsets.begin()) - 1);
+}
+
+}  // namespace
+
+Wid EpisodeCapacity(const WalkSpec& spec, uint64_t dram_budget_bytes,
+                    Vid num_vertices) {
+  Wid total = spec.num_walkers != 0 ? spec.num_walkers : num_vertices;
+  // Walker-state bytes per walker: all W_i rows when keeping paths, else the
+  // rotating prev/cur/next triple; plus the SW scratch (and its aux for
+  // node2vec).
+  uint64_t per_walker =
+      spec.keep_paths ? (static_cast<uint64_t>(spec.steps) + 3) * sizeof(Vid)
+                      : 6 * sizeof(Vid);
+  if (spec.algorithm == WalkAlgorithm::kNode2Vec) {
+    per_walker += 2 * sizeof(Vid);
+  }
+  Wid cap = std::max<Wid>(dram_budget_bytes / per_walker, 1024);
+  return std::min(total, cap);
+}
+
+WalkerState::WalkerState(const CsrGraph& graph, const WalkSpec& spec,
+                         Wid walkers)
+    : graph_(graph),
+      spec_(spec),
+      walkers_(walkers),
+      node2vec_(spec.algorithm == WalkAlgorithm::kNode2Vec),
+      identity_free_(!spec.track_identity) {
+  if (spec_.keep_paths) {
+    paths_ = PathSet(walkers_, spec_.steps);
+    w_cur_ = paths_.Row(0).data();
+  } else {
+    rot_a_.resize(walkers_);
+    rot_b_.resize(walkers_);
+    if (node2vec_) {
+      if (identity_free_) {
+        // rot_b carries predecessors alongside rot_a; first step has none.
+        std::fill(rot_b_.begin(), rot_b_.end(), kInvalidVid);
+      } else {
+        rot_c_.resize(walkers_);
+      }
+    }
+    w_cur_ = rot_a_.data();
+    free_buf_ = rot_b_.data();
+    if (node2vec_ && !identity_free_) {
+      free_buf2_ = rot_c_.data();
+    }
+  }
+  sw_.resize(walkers_);
+  if (node2vec_) {
+    sw_prev_.resize(walkers_);
+  }
+}
+
+const Vid* WalkerState::scatter_aux() const {
+  if (!node2vec_) {
+    return nullptr;
+  }
+  return identity_free_ ? rot_b_.data() : w_prev_;
+}
+
+void WalkerState::AfterScatter(const Vid* aux) {
+  if (node2vec_ && aux == nullptr) {
+    // First step of an identity-tracked node2vec episode: no predecessors yet;
+    // the kernel treats kInvalidVid as "take a uniform first-order step".
+    std::fill(sw_prev_.begin(), sw_prev_.end(), kInvalidVid);
+  }
+}
+
+Vid* WalkerState::GatherTarget(uint32_t step) {
+  return spec_.keep_paths ? paths_.Row(step + 1).data() : free_buf_;
+}
+
+void WalkerState::AdvanceTracked(uint32_t step) {
+  Vid* w_next = GatherTarget(step);
+  // Rotate rows: prev <- cur <- next; the oldest buffer becomes free.
+  if (spec_.keep_paths) {
+    w_prev_ = w_cur_;
+    w_cur_ = w_next;
+  } else if (node2vec_) {
+    Vid* old_prev = w_prev_;
+    w_prev_ = w_cur_;
+    w_cur_ = w_next;
+    free_buf_ = (old_prev != nullptr) ? old_prev : free_buf2_;
+  } else {
+    free_buf_ = w_cur_;
+    w_cur_ = w_next;
+  }
+}
+
+void WalkerState::AdvanceIdentityFree() {
+  // No reverse shuffle ran: the sampled SW (and, for node2vec, the
+  // kernel-updated predecessor stream) simply becomes the next walker array.
+  std::swap(rot_a_, sw_);
+  w_cur_ = rot_a_.data();
+  if (node2vec_) {
+    std::swap(rot_b_, sw_prev_);
+  }
+}
+
+void WalkerState::Place(ThreadPool* pool, uint64_t episode, Wid base_walker,
+                        std::span<WalkObserver* const> observers) {
+  const Vid n = graph_.num_vertices();
+  const Eid m = graph_.num_edges();
+  Vid* w_cur = w_cur_;
+  auto notify = [&](uint64_t begin, uint64_t end, uint32_t worker) {
+    std::span<const Vid> chunk(w_cur + begin, end - begin);
+    for (WalkObserver* observer : observers) {
+      observer->OnPlacementChunk(static_cast<Wid>(begin), chunk, worker);
+    }
+  };
+  if (!spec_.start_vertices.empty()) {
+    // Seeded placement: walker j (global index, consistent across episodes)
+    // starts at start_vertices[j % size()].
+    const auto& starts = spec_.start_vertices;
+    pool->ParallelChunks(walkers_,
+                         [&](uint64_t begin, uint64_t end, uint32_t worker) {
+                           for (Wid j = begin; j < end; ++j) {
+                             w_cur[j] = starts[(base_walker + j) % starts.size()];
+                           }
+                           notify(begin, end, worker);
+                         });
+    return;
+  }
+  // Degree-proportional initial placement ("uniformly sampling among all
+  // edges", §3). Walker j draws a jittered edge position within its own 1/w
+  // slice of the edge array; positions are monotone in j, so one sequential
+  // sweep of the CSR offsets resolves every owner — O(1) per walker, no binary
+  // searches. The aggregate marginal distribution over edges is exactly
+  // uniform.
+  pool->ParallelChunks(walkers_, [&](uint64_t begin, uint64_t end,
+                                     uint32_t worker) {
+    XorShiftRng rng(
+        DeriveSeed(spec_.seed, 0x1A17ULL ^ (episode << 20) ^ begin));
+    if (m == 0) {
+      for (Wid j = begin; j < end; ++j) {
+        w_cur[j] = static_cast<Vid>(rng.NextBounded(n));
+      }
+      notify(begin, end, worker);
+      return;
+    }
+    double edges_per_walker =
+        static_cast<double>(m) / static_cast<double>(walkers_);
+    Eid pos0 = static_cast<Eid>(static_cast<double>(begin) * edges_per_walker);
+    Vid v = VertexOfEdgePos(graph_.offsets(), std::min<Eid>(pos0, m - 1));
+    const Eid* offsets = graph_.offsets().data();
+    for (Wid j = begin; j < end; ++j) {
+      Eid pos = static_cast<Eid>(
+          (static_cast<double>(j) + rng.NextDouble()) * edges_per_walker);
+      pos = std::min<Eid>(pos, m - 1);
+      while (offsets[v + 1] <= pos) {
+        ++v;
+      }
+      w_cur[j] = v;
+    }
+    notify(begin, end, worker);
+  });
+}
+
+PathSet WalkerState::TakePaths() {
+  FM_DCHECK(spec_.keep_paths);
+  w_cur_ = nullptr;
+  w_prev_ = nullptr;
+  PathSet out = std::move(paths_);
+  paths_ = PathSet();
+  return out;
+}
+
+}  // namespace fm

@@ -339,6 +339,67 @@ TEST(EngineTest, WalksMemoryMappedGraph) {
   fs::remove(path);
 }
 
+TEST(EngineTest, WalkerDensityReportsMeanEpisodeSize) {
+  // walker_density is the mean episode size in walkers per edge — not the
+  // whole-run walker total, which a multi-episode run never holds at once.
+  CsrGraph g = SkewedGraph(2000);
+  EngineOptions options;
+  options.dram_budget_bytes = 1 << 20;
+  FlashMobEngine engine(g, options);
+  WalkSpec spec = SmallSpec(100000, 5);
+  spec.keep_paths = false;
+  Wid cap = engine.EpisodeWalkers(spec);
+  ASSERT_LT(cap, 100000u);
+  WalkResult result = engine.Run(spec);
+  uint64_t episodes = (100000 + cap - 1) / cap;
+  EXPECT_EQ(result.stats.episodes, episodes);
+  double mean_episode = 100000.0 / static_cast<double>(episodes);
+  EXPECT_DOUBLE_EQ(result.stats.walker_density,
+                   mean_episode / static_cast<double>(g.num_edges()));
+
+  // A single-episode run reports the plain walkers-per-edge ratio.
+  FlashMobEngine roomy(g);
+  WalkResult single = roomy.Run(spec);
+  EXPECT_EQ(single.stats.episodes, 1u);
+  EXPECT_DOUBLE_EQ(single.stats.walker_density,
+                   100000.0 / static_cast<double>(g.num_edges()));
+}
+
+TEST(EngineTest, StepRecordsCoverEveryEpisodeStep) {
+  CsrGraph g = SkewedGraph(2000);
+  EngineOptions options;
+  options.dram_budget_bytes = 1 << 20;  // several episodes
+  options.record_step_stats = true;
+  FlashMobEngine engine(g, options);
+  WalkSpec spec = SmallSpec(50000, 6);
+  spec.keep_paths = false;
+  WalkResult result = engine.Run(spec);
+  ASSERT_GT(result.stats.episodes, 1u);
+  ASSERT_EQ(result.stats.step_records.size(), result.stats.episodes * 6);
+  uint64_t live_sum = 0;
+  uint64_t index = 0;
+  for (const StepStageRecord& rec : result.stats.step_records) {
+    EXPECT_EQ(rec.episode, index / 6);
+    EXPECT_EQ(rec.step, index % 6);
+    ++index;
+    Wid vp_sum = 0;
+    for (Wid c : rec.vp_walkers) {
+      vp_sum += c;
+    }
+    EXPECT_EQ(vp_sum, rec.live_walkers);
+    live_sum += rec.live_walkers;
+  }
+  // stop_probability == 0: every live walker steps every step.
+  EXPECT_EQ(live_sum, result.stats.total_steps);
+}
+
+TEST(EngineTest, StepRecordsEmptyUnlessRequested) {
+  CsrGraph g = SkewedGraph(1000);
+  FlashMobEngine engine(g);
+  WalkResult result = engine.Run(SmallSpec(2000, 3));
+  EXPECT_TRUE(result.stats.step_records.empty());
+}
+
 TEST(EngineTest, DeepWalkSpecHelper) {
   WalkSpec spec = DeepWalkSpec(1000);
   EXPECT_EQ(spec.num_walkers, 10000u);

@@ -20,6 +20,7 @@
 
 #include "src/core/partition_plan.h"
 #include "src/core/shuffle.h"
+#include "src/core/walk_observer.h"
 #include "src/gen/powerlaw_graph.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -255,6 +256,68 @@ TEST_F(ShuffleDeterminismTest, RepeatedScatterGatherIsStable) {
       }
       w.swap(w_next);
     }
+  }
+}
+
+// --- ShardedVisitCounter merge hammering -------------------------------------
+
+TEST(TsanStressTest, ShardedCounterMergeAcrossThreadCounts) {
+  // The engine's counting path in miniature: concurrent chunk callbacks fill
+  // per-worker shards — placement via pinned ParallelChunks, samples via
+  // dynamically scheduled ParallelFor tasks with kills mixed in — and
+  // MergeShards folds the shards on the same pool once per "episode". uint64
+  // adds commute, so the merged counts must be exact at every thread count;
+  // under TSan this is the main race check for the sharded accumulation.
+  const Vid n = 4096;
+  const Wid walkers = 100003;  // prime: uneven chunk boundaries
+  const uint64_t kTasks = 64;  // dynamic "VP" tasks per sample pass
+  std::vector<Vid> start(walkers), sampled(walkers);
+  for (Wid j = 0; j < walkers; ++j) {
+    start[j] = static_cast<Vid>((j * 2654435761u) % n);
+    // Every 7th sample is a kill; kills must not be counted.
+    sampled[j] =
+        (j % 7 == 0) ? kInvalidVid : static_cast<Vid>((j * 40503u) % n);
+  }
+  const int kEpisodes = 6;
+  const int kStepsPerEpisode = 3;
+  std::vector<uint64_t> expected(n, 0);
+  for (Wid j = 0; j < walkers; ++j) {
+    expected[start[j]] += kEpisodes;
+    if (sampled[j] != kInvalidVid) {
+      expected[sampled[j]] += kEpisodes * kStepsPerEpisode;
+    }
+  }
+
+  for (uint32_t threads : StressThreadCounts()) {
+    ThreadPool pool(threads);
+    ShardedVisitCounter counter(n);
+    WalkRunInfo info;
+    info.num_vertices = n;
+    info.total_walkers = walkers;
+    info.num_workers = pool.thread_count();
+    info.pool = &pool;
+    counter.OnRunBegin(info);
+    for (int episode = 0; episode < kEpisodes; ++episode) {
+      pool.ParallelChunks(
+          walkers, [&](uint64_t begin, uint64_t end, uint32_t worker) {
+            counter.OnPlacementChunk(
+                static_cast<Wid>(begin),
+                std::span<const Vid>(start.data() + begin, end - begin),
+                worker);
+          });
+      for (int step = 0; step < kStepsPerEpisode; ++step) {
+        pool.ParallelFor(kTasks, [&](uint64_t task, uint32_t worker) {
+          uint64_t begin = task * walkers / kTasks;
+          uint64_t end = (task + 1) * walkers / kTasks;
+          counter.OnSampleChunk(
+              static_cast<uint32_t>(step), static_cast<uint32_t>(task),
+              std::span<const Vid>(sampled.data() + begin, end - begin),
+              worker);
+        });
+      }
+      counter.MergeShards(&pool);
+    }
+    EXPECT_EQ(counter.TakeCounts(), expected) << threads << " threads";
   }
 }
 

@@ -1,0 +1,209 @@
+// Streaming-observer equivalence: the parallel sharded accumulation and the
+// PathSetSink must reproduce the engine's own outputs bit-for-bit, across
+// every algorithm, identity mode, and termination setting.
+#include "src/core/walk_observer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/gen/powerlaw_graph.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+CsrGraph SkewedGraph(Vid n, uint64_t seed = 1) {
+  PowerLawConfig config;
+  config.degrees.num_vertices = n;
+  config.degrees.avg_degree = 8;
+  config.degrees.alpha = 0.8;
+  config.degrees.max_degree = n / 8;
+  config.seed = seed;
+  return GeneratePowerLawGraph(config);
+}
+
+struct Combo {
+  WalkAlgorithm algorithm;
+  bool track_identity;
+  double stop_probability;
+};
+
+std::vector<Combo> AllCombos() {
+  std::vector<Combo> combos;
+  for (WalkAlgorithm algorithm :
+       {WalkAlgorithm::kDeepWalk, WalkAlgorithm::kNode2Vec,
+        WalkAlgorithm::kMetropolisHastings}) {
+    for (bool track_identity : {true, false}) {
+      for (double stop : {0.0, 0.15}) {
+        combos.push_back({algorithm, track_identity, stop});
+      }
+    }
+  }
+  return combos;
+}
+
+WalkSpec ComboSpec(const Combo& combo, Wid walkers, uint32_t steps,
+                   uint64_t seed) {
+  WalkSpec spec;
+  spec.algorithm = combo.algorithm;
+  spec.node2vec = {2.0, 0.5};
+  spec.track_identity = combo.track_identity;
+  spec.keep_paths = false;
+  spec.stop_probability = combo.stop_probability;
+  spec.num_walkers = walkers;
+  spec.steps = steps;
+  spec.seed = seed;
+  return spec;
+}
+
+// An external ShardedVisitCounter riding the same run must agree exactly with
+// the engine's internal counter, in every mode.
+TEST(WalkObserverTest, ExternalCounterMatchesEngineCounts) {
+  CsrGraph g = SkewedGraph(2000);
+  for (const Combo& combo : AllCombos()) {
+    FlashMobEngine engine(g);
+    ShardedVisitCounter counter(g.num_vertices());
+    WalkResult result = engine.Run(ComboSpec(combo, 6000, 9, 5), {&counter});
+    ASSERT_EQ(counter.TakeCounts(), result.visit_counts)
+        << "algorithm " << static_cast<int>(combo.algorithm) << " tracked "
+        << combo.track_identity << " stop " << combo.stop_probability;
+  }
+}
+
+// The streamed counts must be bit-identical to the pre-refactor serial
+// accumulation. PathSet::VisitCounts IS that serial loop (a full scan of the
+// materialized rows), and the engine's counts for the same seed are identical
+// with keep_paths on or off — so counts from a counts-only run must equal the
+// row scan of a path-keeping run exactly.
+TEST(WalkObserverTest, CountsMatchSerialRowScan) {
+  CsrGraph g = SkewedGraph(2500);
+  for (WalkAlgorithm algorithm :
+       {WalkAlgorithm::kDeepWalk, WalkAlgorithm::kNode2Vec,
+        WalkAlgorithm::kMetropolisHastings}) {
+    for (double stop : {0.0, 0.15}) {
+      Combo combo{algorithm, /*track_identity=*/true, stop};
+      WalkSpec spec = ComboSpec(combo, 5000, 11, 9);
+
+      FlashMobEngine counting_engine(g);
+      WalkResult counted = counting_engine.Run(spec);
+
+      spec.keep_paths = true;
+      FlashMobEngine path_engine(g);
+      WalkResult pathed = path_engine.Run(spec);
+
+      std::vector<uint64_t> serial = pathed.paths.VisitCounts(g.num_vertices());
+      ASSERT_EQ(counted.visit_counts, serial)
+          << "algorithm " << static_cast<int>(algorithm) << " stop " << stop;
+      ASSERT_EQ(pathed.visit_counts, serial);
+    }
+  }
+}
+
+// PathSetSink must reconstruct exactly what keep_paths materializes — from a
+// run that never materializes rows itself.
+TEST(WalkObserverTest, PathSetSinkMatchesKeepPaths) {
+  CsrGraph g = SkewedGraph(1500);
+  for (WalkAlgorithm algorithm :
+       {WalkAlgorithm::kDeepWalk, WalkAlgorithm::kNode2Vec}) {
+    for (double stop : {0.0, 0.15}) {
+      Combo combo{algorithm, /*track_identity=*/true, stop};
+      WalkSpec spec = ComboSpec(combo, 4000, 7, 3);
+
+      spec.keep_paths = false;
+      FlashMobEngine sink_engine(g);
+      PathSetSink sink;
+      sink_engine.Run(spec, {&sink});
+      PathSet streamed = sink.TakePaths();
+
+      spec.keep_paths = true;
+      FlashMobEngine path_engine(g);
+      WalkResult reference = path_engine.Run(spec);
+
+      ASSERT_EQ(streamed.num_walkers(), reference.paths.num_walkers());
+      for (uint32_t s = 0; s <= spec.steps; ++s) {
+        ASSERT_EQ(streamed.Row(s), reference.paths.Row(s))
+            << "algorithm " << static_cast<int>(algorithm) << " stop " << stop
+            << " row " << s;
+      }
+    }
+  }
+}
+
+// Observers must see every episode: force a multi-episode run and check both
+// sinks still agree with the engine outputs exactly.
+TEST(WalkObserverTest, ObserversSpanEpisodes) {
+  CsrGraph g = SkewedGraph(1200);
+  EngineOptions options;
+  options.dram_budget_bytes = 1 << 20;  // forces several episodes
+  WalkSpec spec;
+  spec.num_walkers = 100000;
+  spec.steps = 5;
+  spec.seed = 23;
+
+  FlashMobEngine engine(g, options);
+  ASSERT_LT(engine.EpisodeWalkers(spec), spec.num_walkers);
+  ShardedVisitCounter counter(g.num_vertices());
+  PathSetSink sink;
+  WalkResult result = engine.Run(spec, {&counter, &sink});
+  EXPECT_GT(result.stats.episodes, 1u);
+  EXPECT_EQ(counter.TakeCounts(), result.visit_counts);
+  PathSet streamed = sink.TakePaths();
+  ASSERT_EQ(streamed.num_walkers(), result.paths.num_walkers());
+  for (uint32_t s = 0; s <= spec.steps; ++s) {
+    ASSERT_EQ(streamed.Row(s), result.paths.Row(s)) << "row " << s;
+  }
+}
+
+// Counts accumulate across runs until taken.
+TEST(WalkObserverTest, CounterAccumulatesAcrossRuns) {
+  CsrGraph g = SkewedGraph(800);
+  WalkSpec spec;
+  spec.num_walkers = 2000;
+  spec.steps = 4;
+  spec.keep_paths = false;
+  FlashMobEngine engine(g);
+  ShardedVisitCounter counter(g.num_vertices());
+  WalkResult once = engine.Run(spec, {&counter});
+  engine.Run(spec, {&counter});
+  std::vector<uint64_t> doubled = counter.TakeCounts();
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(doubled[v], 2 * once.visit_counts[v]) << v;
+  }
+  // After TakeCounts the slate is clean.
+  engine.Run(spec, {&counter});
+  EXPECT_EQ(counter.TakeCounts(), once.visit_counts);
+}
+
+// Walker-order streams require tracked identity; the engine must refuse the
+// combination loudly rather than deliver garbage rows.
+TEST(WalkObserverTest, WalkerChunkSinksRequireTrackedIdentity) {
+  CsrGraph g = SkewedGraph(500);
+  WalkSpec spec;
+  spec.num_walkers = 1000;
+  spec.steps = 2;
+  spec.keep_paths = false;
+  spec.track_identity = false;
+  FlashMobEngine engine(g);
+  PathSetSink sink;
+  EXPECT_DEATH(engine.Run(spec, {&sink}), "track_identity");
+}
+
+// Observer streams work under the instrumented (cache-simulated) path too.
+TEST(WalkObserverTest, InstrumentedRunFeedsObservers) {
+  CsrGraph g = SkewedGraph(1000);
+  WalkSpec spec;
+  spec.num_walkers = 1500;
+  spec.steps = 4;
+  spec.seed = 31;
+  FlashMobEngine engine(g);
+  CacheHierarchy sim;
+  ShardedVisitCounter counter(g.num_vertices());
+  WalkResult result = engine.RunInstrumented(spec, &sim, {&counter});
+  EXPECT_GT(sim.counters().accesses, 0u);
+  EXPECT_EQ(counter.TakeCounts(), result.visit_counts);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,200 @@
+// WalkerState: episode sizing, buffer rotation, and parallel placement with
+// observer notification.
+#include "src/core/walker_state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "src/core/walk_observer.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace fm {
+namespace {
+
+// Records every placement chunk so tests can check the chunks tile [0, w)
+// exactly and carry the final row contents.
+class RecordingObserver : public WalkObserver {
+ public:
+  void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
+                        uint32_t worker) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks_.push_back({begin, std::vector<Vid>(positions.begin(), positions.end()),
+                       worker});
+  }
+
+  struct Chunk {
+    Wid begin;
+    std::vector<Vid> positions;
+    uint32_t worker;
+  };
+
+  std::vector<Chunk> sorted_chunks() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Chunk> out = chunks_;
+    std::sort(out.begin(), out.end(),
+              [](const Chunk& a, const Chunk& b) { return a.begin < b.begin; });
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Chunk> chunks_;
+};
+
+TEST(WalkerStateTest, EpisodeCapacityMatchesPerWalkerBytes) {
+  WalkSpec spec;
+  spec.num_walkers = 1u << 30;
+  spec.steps = 13;  // keep_paths: (13 + 3) * 4 = 64 bytes per walker
+  EXPECT_EQ(EpisodeCapacity(spec, 64u << 20, 100), (64u << 20) / 64);
+
+  spec.keep_paths = false;  // rotating rows: 24 bytes per walker
+  EXPECT_EQ(EpisodeCapacity(spec, 24u << 20, 100), 1u << 20);
+
+  spec.algorithm = WalkAlgorithm::kNode2Vec;  // + 8 bytes of predecessor state
+  EXPECT_EQ(EpisodeCapacity(spec, 32u << 20, 100), 1u << 20);
+}
+
+TEST(WalkerStateTest, EpisodeCapacityFloorsAndCaps) {
+  WalkSpec spec;
+  spec.num_walkers = 500;
+  spec.steps = 10;
+  // Tiny budget floors at 1024 walkers, then the total bounds it.
+  EXPECT_EQ(EpisodeCapacity(spec, 1, 100), 500u);
+  spec.num_walkers = 1u << 20;
+  EXPECT_EQ(EpisodeCapacity(spec, 1, 100), 1024u);
+  // num_walkers == 0 means one walker per vertex.
+  spec.num_walkers = 0;
+  EXPECT_EQ(EpisodeCapacity(spec, 1u << 30, 300), 300u);
+}
+
+TEST(WalkerStateTest, SeededPlacementRoundRobinWithBaseOffset) {
+  CsrGraph g = SmallSortedGraph();
+  ThreadPool pool(3);
+  WalkSpec spec;
+  spec.start_vertices = {2, 0, 1};
+  spec.num_walkers = 10;
+  spec.steps = 1;
+  WalkerState state(g, spec, /*walkers=*/10);
+  state.Place(&pool, /*episode=*/0, /*base_walker=*/5, {});
+  for (Wid j = 0; j < 10; ++j) {
+    EXPECT_EQ(state.cur()[j], spec.start_vertices[(5 + j) % 3]) << j;
+  }
+}
+
+TEST(WalkerStateTest, DegreeProportionalPlacementIsDeterministic) {
+  CsrGraph g = StarGraph(32);
+  auto sorted = DegreeSort(g);
+  ThreadPool pool(4);
+  WalkSpec spec;
+  spec.num_walkers = 5000;
+  spec.steps = 1;
+  spec.seed = 77;
+  WalkerState a(sorted.graph, spec, 5000);
+  WalkerState b(sorted.graph, spec, 5000);
+  a.Place(&pool, 0, 0, {});
+  b.Place(&pool, 0, 0, {});
+  EXPECT_TRUE(std::equal(a.cur(), a.cur() + 5000, b.cur()));
+  // The hub (sorted VID 0) owns half the undirected star's edges.
+  Wid hub = static_cast<Wid>(std::count(a.cur(), a.cur() + 5000, Vid{0}));
+  EXPECT_NEAR(static_cast<double>(hub) / 5000, 0.5, 0.05);
+}
+
+TEST(WalkerStateTest, PlacementChunksTileTheEpisode) {
+  CsrGraph g = SmallSortedGraph();
+  ThreadPool pool(4);
+  WalkSpec spec;
+  spec.num_walkers = 1000;
+  spec.steps = 1;
+  WalkerState state(g, spec, 1000);
+  RecordingObserver recorder;
+  WalkObserver* observers[] = {&recorder};
+  state.Place(&pool, 0, 0, observers);
+  Wid next = 0;
+  for (const auto& chunk : recorder.sorted_chunks()) {
+    ASSERT_EQ(chunk.begin, next);
+    for (size_t i = 0; i < chunk.positions.size(); ++i) {
+      ASSERT_EQ(chunk.positions[i], state.cur()[chunk.begin + i]);
+    }
+    next += chunk.positions.size();
+  }
+  EXPECT_EQ(next, 1000u);
+}
+
+TEST(WalkerStateTest, TrackedRotationCyclesThreeBuffers) {
+  CsrGraph g = SmallSortedGraph();
+  WalkSpec spec;
+  spec.num_walkers = 100;
+  spec.steps = 4;
+  spec.keep_paths = false;
+  WalkerState state(g, spec, 100);
+  Vid* row0 = state.cur();
+  Vid* row1 = state.GatherTarget(0);
+  EXPECT_NE(row0, row1);
+  state.AdvanceTracked(0);
+  EXPECT_EQ(state.cur(), row1);
+  // Without node2vec only two buffers rotate: the old cur frees up.
+  EXPECT_EQ(state.GatherTarget(1), row0);
+  state.AdvanceTracked(1);
+  EXPECT_EQ(state.cur(), row0);
+  EXPECT_EQ(state.GatherTarget(2), row1);
+}
+
+TEST(WalkerStateTest, Node2VecTrackedKeepsPredecessorRow) {
+  CsrGraph g = SmallSortedGraph();
+  WalkSpec spec;
+  spec.num_walkers = 50;
+  spec.steps = 4;
+  spec.keep_paths = false;
+  spec.algorithm = WalkAlgorithm::kNode2Vec;
+  WalkerState state(g, spec, 50);
+  ASSERT_NE(state.sw_prev(), nullptr);
+  // First step has no predecessors; AfterScatter(nullptr) must mark that.
+  EXPECT_EQ(state.scatter_aux(), nullptr);
+  state.AfterScatter(nullptr);
+  EXPECT_EQ(state.sw_prev()[0], kInvalidVid);
+  Vid* row0 = state.cur();
+  state.AdvanceTracked(0);
+  // Now the previous row is the predecessor source for the next scatter.
+  EXPECT_EQ(state.scatter_aux(), row0);
+}
+
+TEST(WalkerStateTest, IdentityFreeAdvanceSwapsInSampledRow) {
+  CsrGraph g = SmallSortedGraph();
+  WalkSpec spec;
+  spec.num_walkers = 64;
+  spec.steps = 2;
+  spec.keep_paths = false;
+  spec.track_identity = false;
+  WalkerState state(g, spec, 64);
+  for (Wid j = 0; j < 64; ++j) {
+    state.sw()[j] = static_cast<Vid>(j % 4);
+  }
+  state.AdvanceIdentityFree();
+  for (Wid j = 0; j < 64; ++j) {
+    ASSERT_EQ(state.cur()[j], static_cast<Vid>(j % 4));
+  }
+}
+
+TEST(WalkerStateTest, TakePathsReturnsPlacedRows) {
+  CsrGraph g = SmallSortedGraph();
+  ThreadPool pool(2);
+  WalkSpec spec;
+  spec.start_vertices = {3};
+  spec.num_walkers = 20;
+  spec.steps = 2;
+  WalkerState state(g, spec, 20);
+  state.Place(&pool, 0, 0, {});
+  PathSet paths = state.TakePaths();
+  ASSERT_EQ(paths.num_walkers(), 20u);
+  for (Wid j = 0; j < 20; ++j) {
+    EXPECT_EQ(paths.At(j, 0), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace fm

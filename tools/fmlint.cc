@@ -15,6 +15,10 @@
 //                     byte-pointer arithmetic (the unaligned-mmap-load pattern);
 //                     use a memcpy-based safe read or an alignment-checked span
 //                     helper instead.
+//   visit-counts-mut  no direct mutation of a WalkResult's `visit_counts`
+//                     member outside src/core/ — counts are produced by the
+//                     engine's streaming sharded accumulation; consumers read
+//                     them or run their own ShardedVisitCounter observer.
 //
 // Comments and string/char literals are stripped before matching. A rule is
 // suppressed for one line by putting `fmlint:allow(rule-name)` in a comment on
@@ -190,6 +194,13 @@ class Linter {
                "reinterpret_cast over byte arithmetic risks unaligned/UB loads; "
                "memcpy the value out or use an alignment-checked helper");
       }
+      if (rel.rfind("src/core/", 0) != 0 &&
+          std::regex_search(line, visit_counts_mut_) &&
+          !Suppressed(orig, "visit-counts-mut")) {
+        Report(rel, i + 1, "visit-counts-mut",
+               "visit_counts is engine output; outside src/core/ read it or "
+               "accumulate via a ShardedVisitCounter observer");
+      }
     }
   }
 
@@ -243,6 +254,13 @@ class Linter {
   std::regex naked_new_{R"((^|[^A-Za-z0-9_.:>])new[\s(])"};
   std::regex reinterpret_arith_{
       R"(reinterpret_cast\s*<[^>]*\*[^>]*>\s*\([^;]*\+)"};
+  // Member access only (`.visit_counts` / `->visit_counts`) so locals named
+  // visit_counts don't trip it; flags assignment, compound assignment,
+  // increment/decrement (either side), and mutating container methods.
+  std::regex visit_counts_mut_{
+      R"((\+\+|--)[^;=]*(\.|->)\s*visit_counts)"
+      R"(|(\.|->)\s*visit_counts\s*\.\s*(assign|resize|clear|push_back|emplace_back|swap)\s*\()"
+      R"(|(\.|->)\s*visit_counts\s*(\[[^\]]*\]\s*)?(=[^=]|\+=|-=|\+\+|--))"};
 };
 
 }  // namespace

@@ -20,7 +20,11 @@
 //   --out=FILE        write one walk per line (original vertex IDs)
 //   --pairs=FILE      write sampled edges "u v" per line instead of full paths
 //   --stats           print visit statistics by degree bucket (Table 2 style)
+//   --profile         print a per-step stage breakdown (scatter/sample/gather
+//                     seconds and the per-VP walker spread) from the engine's
+//                     structured step records
 //   --threads=N       worker threads (default: all cores; or FM_THREADS)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,6 +53,7 @@ struct Args {
   std::string out_path;
   std::string pairs_path;
   bool stats = false;
+  bool profile = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -66,7 +71,8 @@ int Usage(const char* self) {
                "[--algo=deepwalk|node2vec]\n"
                "  [--steps=N] [--rounds=N] [--walkers=N] [--p=F] [--q=F] "
                "[--weighted] [--stop=F]\n"
-               "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats]\n",
+               "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
+               "[--profile]\n",
                self);
   return 2;
 }
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
       args.pairs_path = value;
     } else if (std::strcmp(a, "--stats") == 0) {
       args.stats = true;
+    } else if (std::strcmp(a, "--profile") == 0) {
+      args.profile = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       return Usage(argv[0]);
@@ -167,7 +175,9 @@ int main(int argc, char** argv) {
     spec.seed = args.seed;
     spec.keep_paths = !args.out_path.empty() || !args.pairs_path.empty();
 
-    FlashMobEngine engine(sorted.graph);
+    EngineOptions engine_options;
+    engine_options.record_step_stats = args.profile;
+    FlashMobEngine engine(sorted.graph, engine_options);
     WalkResult result = engine.Run(spec);
     std::fprintf(stderr,
                  "walked %llu steps in %.2fs: %.1f ns/step "
@@ -201,6 +211,27 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %llu sampled edges to %s\n",
                    static_cast<unsigned long long>(pairs),
                    args.pairs_path.c_str());
+    }
+    if (args.profile) {
+      std::printf("%3s %4s %10s %10s %10s %12s %12s %12s\n", "ep", "step",
+                  "scatter_ms", "sample_ms", "gather_ms", "live", "min vp",
+                  "max vp");
+      for (const StepStageRecord& rec : result.stats.step_records) {
+        Wid min_vp = 0;
+        Wid max_vp = 0;
+        if (!rec.vp_walkers.empty()) {
+          auto [lo, hi] =
+              std::minmax_element(rec.vp_walkers.begin(), rec.vp_walkers.end());
+          min_vp = *lo;
+          max_vp = *hi;
+        }
+        std::printf("%3llu %4u %10.3f %10.3f %10.3f %12llu %12llu %12llu\n",
+                    static_cast<unsigned long long>(rec.episode), rec.step,
+                    rec.scatter_s * 1e3, rec.sample_s * 1e3, rec.gather_s * 1e3,
+                    static_cast<unsigned long long>(rec.live_walkers),
+                    static_cast<unsigned long long>(min_vp),
+                    static_cast<unsigned long long>(max_vp));
+      }
     }
     if (args.stats) {
       DegreeBucketStats stats =
