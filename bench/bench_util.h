@@ -10,12 +10,47 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/fm.h"
 #include "src/util/env.h"
 
 namespace fm {
+
+// The only bench command-line argument: --metrics-json=FILE asks the binary to
+// write its fm-bench-trajectory-v1 JSON (timing points plus hardware-counter
+// samples where the perf backend is live) to FILE. Returns "" when absent;
+// unknown arguments exit with usage so CI typos fail loudly.
+inline std::string MetricsJsonArg(int argc, char** argv) {
+  std::string path;
+  const char* prefix = "--metrics-json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      path = argv[i] + std::strlen(prefix);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --metrics-json=FILE)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return path;
+}
+
+// Writes `traj` to `path` unless path is empty; exits non-zero on I/O failure
+// so a CI job uploading the artifact cannot silently pass without it.
+inline void MaybeWriteTrajectory(const BenchTrajectory& traj,
+                                 const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (!traj.WriteJson(path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote bench trajectory to %s\n", path.c_str());
+}
 
 inline uint32_t BenchSteps() {
   return static_cast<uint32_t>(EnvInt64("FM_STEPS", 16));

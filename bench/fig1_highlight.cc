@@ -19,19 +19,34 @@ WalkSpec PaddedSpec(const CsrGraph& g) {
   return spec;
 }
 
-double KnightKingPerStep(const CsrGraph& g) {
+double KnightKingPerStep(const CsrGraph& g, const char* point,
+                         BenchTrajectory* traj) {
   BaselineOptions options;
   options.count_visits = false;
   KnightKingEngine engine(g, options);
-  return engine.Run(PaddedSpec(g)).stats.PerStepNs();
+  double ns = engine.Run(PaddedSpec(g)).stats.PerStepNs();
+  if (traj != nullptr) {
+    traj->Add("fig1a/knightking", point, ns, "ns/step");
+  }
+  return ns;
 }
 
-double FlashMobPerStep(const CsrGraph& g) {
-  FlashMobEngine engine(g, PerfEngineOptions());
-  return engine.Run(PaddedSpec(g)).stats.PerStepNs();
+double FlashMobPerStep(const CsrGraph& g, const char* point,
+                       BenchTrajectory* traj) {
+  EngineOptions options = PerfEngineOptions();
+  options.collect_counters = traj != nullptr;
+  FlashMobEngine engine(g, options);
+  WalkResult result = engine.Run(PaddedSpec(g));
+  if (traj != nullptr) {
+    traj->set_backend(result.stats.perf_backend);
+    traj->Add("fig1a/flashmob", point, result.stats.PerStepNs(), "ns/step");
+    traj->AddCounters(std::string("fig1a/flashmob/") + point,
+                      result.stats.counters.Total());
+  }
+  return result.stats.PerStepNs();
 }
 
-void MissBreakdown(const char* name, const CsrGraph& g) {
+void MissBreakdown(const char* name, const CsrGraph& g, BenchTrajectory* traj) {
   WalkSpec spec;
   spec.steps = static_cast<uint32_t>(EnvInt64("FM_FIG1_SIM_STEPS", 6));
   spec.num_walkers = g.num_vertices();  // paper density: |V| walkers per episode
@@ -48,22 +63,35 @@ void MissBreakdown(const char* name, const CsrGraph& g) {
   FlashMobEngine fmob(g, options);
   WalkResult fm_run = fmob.RunInstrumented(spec, &fm_sim);
 
-  auto print = [](const char* engine, const char* graph, const CacheCounters& c,
-                  uint64_t steps) {
+  auto print = [&](const char* engine, const char* series,
+                   const CacheCounters& c, uint64_t steps) {
     std::printf("  %-10s %-4s  L1=%7.2f  L2=%6.3f  L3=%6.3f  (misses/step)\n",
-                engine, graph, static_cast<double>(c.misses[0]) / steps,
+                engine, name, static_cast<double>(c.misses[0]) / steps,
                 static_cast<double>(c.misses[1]) / steps,
                 static_cast<double>(c.misses[2]) / steps);
+    if (traj != nullptr) {
+      const char* levels[3] = {"L1", "L2", "L3"};
+      for (int l = 0; l < 3; ++l) {
+        traj->Add(series, std::string(name) + "/" + levels[l],
+                  static_cast<double>(c.misses[l]) / steps,
+                  "sim-misses/step");
+      }
+    }
   };
-  print("KnightKing", name, knk_sim.counters(), knk_run.stats.total_steps);
-  print("FlashMob", name, fm_sim.counters(), fm_run.stats.total_steps);
+  print("KnightKing", "fig1b/knightking", knk_sim.counters(),
+        knk_run.stats.total_steps);
+  print("FlashMob", "fig1b/flashmob", fm_sim.counters(),
+        fm_run.stats.total_steps);
 }
 
 }  // namespace
 }  // namespace fm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fm;
+  std::string metrics_path = MetricsJsonArg(argc, argv);
+  BenchTrajectory traj("fig1_highlight");
+  BenchTrajectory* tp = metrics_path.empty() ? nullptr : &traj;
   PrintHeader("Figure 1a: per-step time highlight (DeepWalk)");
 
   const CacheInfo& info = DetectCacheInfo();
@@ -75,26 +103,28 @@ int main() {
   for (const Toy& toy : toys) {
     CsrGraph g = GenerateCacheSizedGraph(toy.budget * 9 / 10, 16, 42);
     std::printf("  KnightKing  %-7s (%7s CSR): %8.1f ns/step\n", toy.name,
-                HumanBytes(g.CsrBytes()).c_str(), KnightKingPerStep(g));
+                HumanBytes(g.CsrBytes()).c_str(),
+                KnightKingPerStep(g, toy.name, tp));
   }
   CsrGraph yt = LoadDataset(DatasetByName("YT"));
   CsrGraph yh = LoadDataset(DatasetByName("YH"));
   std::printf("  KnightKing  %-7s (%7s CSR): %8.1f ns/step\n", "YT",
-              HumanBytes(yt.CsrBytes()).c_str(), KnightKingPerStep(yt));
+              HumanBytes(yt.CsrBytes()).c_str(), KnightKingPerStep(yt, "YT", tp));
   std::printf("  KnightKing  %-7s (%7s CSR): %8.1f ns/step\n", "YH",
-              HumanBytes(yh.CsrBytes()).c_str(), KnightKingPerStep(yh));
+              HumanBytes(yh.CsrBytes()).c_str(), KnightKingPerStep(yh, "YH", tp));
   std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step\n", "YT",
-              HumanBytes(yt.CsrBytes()).c_str(), FlashMobPerStep(yt));
+              HumanBytes(yt.CsrBytes()).c_str(), FlashMobPerStep(yt, "YT", tp));
   std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step\n", "YH",
-              HumanBytes(yh.CsrBytes()).c_str(), FlashMobPerStep(yh));
+              HumanBytes(yh.CsrBytes()).c_str(), FlashMobPerStep(yh, "YH", tp));
   std::printf(
       "\npaper: FlashMob on the 58GB YH graph ~= KnightKing on a 600KB (L2) toy\n");
 
   PrintHeader("Figure 1b: per-step cache misses (simulated, paper geometry)");
-  MissBreakdown("YT", yt);
-  MissBreakdown("YH", yh);
+  MissBreakdown("YT", yt, tp);
+  MissBreakdown("YH", yh, tp);
   std::printf(
       "\npaper shape: FlashMob cuts L2/L3 misses sharply; KnightKing's L1 misses "
       "fall straight through to DRAM\n");
+  MaybeWriteTrajectory(traj, metrics_path);
   return 0;
 }

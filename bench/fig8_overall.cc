@@ -18,7 +18,8 @@ struct Row {
   double graphvite = 0;
 };
 
-Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite) {
+Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite,
+           const char* series, BenchTrajectory* traj) {
   CsrGraph g = LoadDataset(spec);
   Row row;
   row.graph = spec.name;
@@ -31,8 +32,16 @@ Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite
   }
   auto spec_for = [&](const CsrGraph&) { return walk; };
 
-  FlashMobEngine fmob(g, PerfEngineOptions());
-  row.flashmob = fmob.Run(spec_for(g)).stats.PerStepNs();
+  EngineOptions fm_options = PerfEngineOptions();
+  fm_options.collect_counters = traj != nullptr;
+  FlashMobEngine fmob(g, fm_options);
+  WalkResult fm_run = fmob.Run(spec_for(g));
+  row.flashmob = fm_run.stats.PerStepNs();
+  if (traj != nullptr) {
+    traj->set_backend(fm_run.stats.perf_backend);
+    traj->AddCounters(std::string(series) + "/flashmob/" + row.graph,
+                      fm_run.stats.counters.Total());
+  }
 
   // Same walk with the streaming sharded visit counter on: the counting rides
   // inside the parallel placement/sample stages (merged once per episode), so
@@ -50,6 +59,18 @@ Row RunOne(const DatasetSpec& spec, WalkAlgorithm algorithm, bool with_graphvite
   if (with_graphvite) {
     GraphViteEngine gv(g, base_options);
     row.graphvite = gv.Run(spec_for(g)).stats.PerStepNs();
+  }
+  if (traj != nullptr) {
+    traj->Add(std::string(series) + "/flashmob", row.graph, row.flashmob,
+              "ns/step");
+    traj->Add(std::string(series) + "/flashmob_counts", row.graph,
+              row.flashmob_counts, "ns/step");
+    traj->Add(std::string(series) + "/knightking", row.graph, row.knightking,
+              "ns/step");
+    if (with_graphvite) {
+      traj->Add(std::string(series) + "/graphvite", row.graph, row.graphvite,
+                "ns/step");
+    }
   }
   return row;
 }
@@ -74,12 +95,15 @@ void PrintRows(const std::vector<Row>& rows, bool with_graphvite) {
 }  // namespace
 }  // namespace fm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fm;
+  std::string metrics_path = MetricsJsonArg(argc, argv);
+  BenchTrajectory traj("fig8_overall");
+  BenchTrajectory* tp = metrics_path.empty() ? nullptr : &traj;
   PrintHeader("Figure 8a: DeepWalk per-step time");
   std::vector<Row> deepwalk;
   for (const DatasetSpec& spec : AllDatasets()) {
-    deepwalk.push_back(RunOne(spec, WalkAlgorithm::kDeepWalk, true));
+    deepwalk.push_back(RunOne(spec, WalkAlgorithm::kDeepWalk, true, "fig8a", tp));
   }
   PrintRows(deepwalk, true);
   std::printf("\npaper: FlashMob 21.5-36.7 ns/step; 5.4-13.7x over KnightKing; "
@@ -88,10 +112,12 @@ int main() {
   PrintHeader("Figure 8b: node2vec per-step time (p=2, q=0.5)");
   std::vector<Row> node2vec;
   for (const DatasetSpec& spec : AllDatasets()) {
-    node2vec.push_back(RunOne(spec, WalkAlgorithm::kNode2Vec, false));
+    node2vec.push_back(
+        RunOne(spec, WalkAlgorithm::kNode2Vec, false, "fig8b", tp));
   }
   PrintRows(node2vec, false);
   std::printf("\npaper: 3.9-19.9x speedup over KnightKing (lower than DeepWalk "
               "due to cross-VP connectivity checks)\n");
+  MaybeWriteTrajectory(traj, metrics_path);
   return 0;
 }

@@ -11,8 +11,9 @@
 #include "src/mem/membench.h"
 #include "src/util/cache_info.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fm;
+  std::string metrics_path = MetricsJsonArg(argc, argv);
   PrintHeader("Table 1: Load latency from memory hierarchy levels (ns/load)");
 
   const CacheInfo& info = DetectCacheInfo();
@@ -21,7 +22,26 @@ int main() {
 
   MemBenchConfig config;
   config.min_total_accesses = static_cast<uint64_t>(EnvInt64("FM_MEM_ACCESSES", 1 << 22));
-  MemLatencyTable table = MeasureMemLatencyTable(info, config);
+
+  // One measured pass per cell collects the timing and the hardware counters
+  // bracketing exactly the access loop, so the LLC-miss table below is
+  // *measured* (perf_event_open), not derived from the cache model.
+  MemLatencyTable table{};
+  table.working_set_bytes[0] = info.l1_bytes / 2;
+  table.working_set_bytes[1] = info.l2_bytes / 2;
+  table.working_set_bytes[2] = info.l3_bytes / 2;
+  table.working_set_bytes[3] = info.l3_bytes * 8;
+  MemAccessProfile profiles[3][4];
+  bool counters_live = false;
+  for (int p = 0; p < 3; ++p) {
+    for (int l = 0; l < 4; ++l) {
+      profiles[p][l] = MeasureLoadLatencyProfile(static_cast<AccessPattern>(p),
+                                                 table.working_set_bytes[l],
+                                                 config);
+      table.ns[p][l] = profiles[p][l].ns_per_access;
+      counters_live = counters_live || profiles[p][l].counters_active;
+    }
+  }
 
   const char* patterns[3] = {"Sequential read", "Random read", "Pointer-chasing"};
   std::printf("\n%-17s %10s %10s %10s %10s\n", "Location", "L1C", "L2C", "L3C",
@@ -35,6 +55,22 @@ int main() {
     std::printf("%-17s", patterns[p]);
     for (int l = 0; l < 4; ++l) {
       std::printf(" %8.2fns", table.ns[p][l]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nmeasured LLC misses per access (perf backend: %s):\n",
+              counters_live ? "perf" : "noop");
+  for (int p = 0; p < 3; ++p) {
+    std::printf("%-17s", patterns[p]);
+    for (int l = 0; l < 4; ++l) {
+      const MemAccessProfile& prof = profiles[p][l];
+      double per_access =
+          prof.accesses == 0
+              ? 0
+              : static_cast<double>(prof.counters.llc_misses()) /
+                    static_cast<double>(prof.accesses);
+      std::printf(" %8.4f  ", per_access);
     }
     std::printf("\n");
   }
@@ -55,5 +91,21 @@ int main() {
               rand_dram / seq_dram, 18.35 / 0.76);
   std::printf("pointer-chase@L3 %s random@DRAM (paper: slower)\n",
               chase_l3 > rand_dram ? "slower than" : "faster than");
+
+  if (!metrics_path.empty()) {
+    BenchTrajectory traj("table1_memory_latency");
+    traj.set_backend(counters_live ? "perf" : "noop");
+    const char* levels[4] = {"L1C", "L2C", "L3C", "LocalMem"};
+    const char* series[3] = {"table1/sequential", "table1/random",
+                             "table1/pointer_chase"};
+    for (int p = 0; p < 3; ++p) {
+      for (int l = 0; l < 4; ++l) {
+        traj.Add(series[p], levels[l], table.ns[p][l], "ns/access");
+        traj.AddCounters(std::string(series[p]) + "/" + levels[l],
+                         profiles[p][l].counters);
+      }
+    }
+    MaybeWriteTrajectory(traj, metrics_path);
+  }
   return 0;
 }

@@ -154,6 +154,30 @@ WalkResult FlashMobEngine::RunImpl(
   // paper excludes its 0.04%-0.7% pre-processing overhead from per-step times).
   EnsurePlan(spec, std::min(total_walkers, episode_cap));
 
+  // Per-stage hardware counters: one group per pool thread, read at the stage
+  // barriers (stages are barrier-synchronized, so the delta between reads is
+  // exactly the stage's work across all threads). Opens lazily per Run so the
+  // monitor covers this run's pool, including the single-threaded variant.
+  std::optional<StagePerfMonitor> perf;
+  if (options_.collect_counters) {
+    perf.emplace(pool->WorkerSystemTids());
+    result.stats.perf_backend = perf->backend();
+  }
+  CounterSample perf_cursor;
+  if (perf.has_value()) {
+    perf_cursor = perf->ReadTotal();
+  }
+  // Advances the cursor and returns the counter delta since the last call.
+  auto perf_delta = [&]() -> CounterSample {
+    if (!perf.has_value()) {
+      return {};
+    }
+    CounterSample now = perf->ReadTotal();
+    CounterSample delta = now - perf_cursor;
+    perf_cursor = now;
+    return delta;
+  };
+
   Timer other_timer;
   Shuffler shuffler(&*plan_, pool);
   PresampleBuffers presample(graph_, *plan_);
@@ -203,6 +227,9 @@ WalkResult FlashMobEngine::RunImpl(
 
     for (uint32_t step = 0; step < spec.steps; ++step) {
       // ---- shuffle: W_i -> SW --------------------------------------------------
+      if (perf.has_value()) {
+        perf_delta();  // drop inter-stage work from the scatter attribution
+      }
       Timer shuffle_timer;
       const Vid* aux = state.scatter_aux();
       shuffler.Scatter(state.cur(), aux, w, state.sw(),
@@ -225,6 +252,8 @@ WalkResult FlashMobEngine::RunImpl(
       }
       const double scatter_s = shuffle_timer.Elapsed();
       result.stats.times.shuffle_s += scatter_s;
+      const CounterSample scatter_counters = perf_delta();
+      result.stats.counters.scatter += scatter_counters;
 
       // ---- sample: one task per VP --------------------------------------------
       Timer sample_timer;
@@ -252,8 +281,11 @@ WalkResult FlashMobEngine::RunImpl(
       result.stats.total_steps += vp_offsets[num_vps] - vp_offsets[0];
       const double sample_s = sample_timer.Elapsed();
       result.stats.times.sample_s += sample_s;
+      const CounterSample sample_counters = perf_delta();
+      result.stats.counters.sample += sample_counters;
 
       double gather_s = 0;
+      CounterSample gather_counters;
       if (identity_free) {
         // Extension: no reverse shuffle. The sampled SW (and, for node2vec, the
         // kernel-updated predecessor stream) simply becomes the next walker array;
@@ -280,6 +312,8 @@ WalkResult FlashMobEngine::RunImpl(
         }
         gather_s = shuffle_timer.Elapsed();
         result.stats.times.shuffle_s += gather_s;
+        gather_counters = perf_delta();
+        result.stats.counters.gather += gather_counters;
 
         other_timer.Start();
         if (!walker_sinks.empty()) {
@@ -309,6 +343,9 @@ WalkResult FlashMobEngine::RunImpl(
         for (uint32_t i = 0; i < num_vps; ++i) {
           rec.vp_walkers[i] = vp_offsets[i + 1] - vp_offsets[i];
         }
+        rec.scatter_counters = scatter_counters;
+        rec.sample_counters = sample_counters;
+        rec.gather_counters = gather_counters;
         result.stats.step_records.push_back(std::move(rec));
       }
     }

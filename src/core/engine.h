@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/cachesim/hierarchy.h"
@@ -29,6 +30,7 @@
 #include "src/core/walk_spec.h"
 #include "src/graph/csr_graph.h"
 #include "src/sampling/vertex_alias.h"
+#include "src/util/perf_counters.h"
 #include "src/util/thread_pool.h"
 
 namespace fm {
@@ -53,6 +55,25 @@ struct StepStageRecord {
   double gather_s = 0;          // 0 in identity-free mode (no reverse shuffle)
   Wid live_walkers = 0;         // walkers the sample stage moved this step
   std::vector<Wid> vp_walkers;  // walkers per VP chunk this step
+  // Hardware-counter deltas per stage, summed over all participating threads
+  // (EngineOptions::collect_counters; all-zero under the noop backend).
+  CounterSample scatter_counters;
+  CounterSample sample_counters;
+  CounterSample gather_counters;
+};
+
+// Run-total hardware-counter deltas per pipeline stage
+// (EngineOptions::collect_counters).
+struct StageCounters {
+  CounterSample scatter;
+  CounterSample sample;
+  CounterSample gather;
+  CounterSample Total() const {
+    CounterSample t = scatter;
+    t += sample;
+    t += gather;
+    return t;
+  }
 };
 
 struct WalkStats {
@@ -67,6 +88,12 @@ struct WalkStats {
 
   // Per-step stage records; empty unless EngineOptions::record_step_stats.
   std::vector<StepStageRecord> step_records;
+
+  // Run-total stage counters and the backend that produced them: "perf" when
+  // hardware counters were live, "noop" when perf_event_open was unavailable
+  // (container, perf_event_paranoid), "" when collection was off.
+  StageCounters counters;
+  std::string perf_backend;
 
   double PerStepNs() const {
     return total_steps == 0 ? 0 : times.Total() * 1e9 / static_cast<double>(total_steps);
@@ -93,6 +120,12 @@ struct EngineOptions {
   bool count_visits = true;
   // Record a StepStageRecord per (episode, step) in WalkStats::step_records.
   bool record_step_stats = false;
+  // Measure hardware counters (cycles, LLC/L1D/dTLB misses, ...) per stage via
+  // perf_event_open over every pool thread. Degrades to a no-op backend
+  // (WalkStats::perf_backend == "noop") where the syscall is unavailable —
+  // never a failure. Adds a few syscalls per stage boundary; leave off for
+  // pure speed benchmarking.
+  bool collect_counters = false;
 };
 
 class FlashMobEngine {

@@ -145,8 +145,17 @@ void WalkerState::Place(ThreadPool* pool, uint64_t episode, Wid base_walker,
   // sweep of the CSR offsets resolves every owner — O(1) per walker, no binary
   // searches. The aggregate marginal distribution over edges is exactly
   // uniform.
-  pool->ParallelChunks(walkers_, [&](uint64_t begin, uint64_t end,
-                                     uint32_t worker) {
+  //
+  // Fixed-size blocks (not ParallelChunks) because the RNG stream is seeded by
+  // the block's first walker index: thread-count-dependent chunk boundaries
+  // would re-slice the streams and change every start vertex, breaking the
+  // same-seed-same-walks determinism contract (tests/determinism_test.cc).
+  constexpr uint64_t kPlaceBlock = 1 << 16;
+  uint64_t num_blocks = (walkers_ + kPlaceBlock - 1) / kPlaceBlock;
+  pool->ParallelFor(std::max<uint64_t>(num_blocks, 1), [&](uint64_t block,
+                                                           uint32_t worker) {
+    uint64_t begin = block * kPlaceBlock;
+    uint64_t end = std::min<uint64_t>(begin + kPlaceBlock, walkers_);
     XorShiftRng rng(
         DeriveSeed(spec_.seed, 0x1A17ULL ^ (episode << 20) ^ begin));
     if (m == 0) {

@@ -21,6 +21,7 @@
 #include "src/core/algorithms/deepwalk.h"
 #include "src/core/algorithms/node2vec.h"
 #include "src/core/engine.h"
+#include "src/core/metrics.h"
 #include "src/core/numa.h"
 #include "src/core/profiler.h"
 #include "src/gen/dataset_registry.h"

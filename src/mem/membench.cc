@@ -16,8 +16,31 @@ namespace {
 // Keeps the compiler from discarding the measured loads.
 volatile uint64_t g_sink;
 
-double MeasureSequential(uint64_t* data, uint64_t words, uint64_t passes) {
+// Counter bracketing for exactly one timed loop: the helpers snapshot the
+// (possibly inactive) group right before and after their access loop, so chain
+// setup and index-stream generation stay outside the attribution window.
+struct CounterBracket {
+  explicit CounterBracket(const PerfCounterGroup* group, CounterSample* out)
+      : group_(group), out_(out) {
+    if (group_ != nullptr) {
+      before_ = group_->Read();
+    }
+  }
+  void Close() {
+    if (group_ != nullptr && out_ != nullptr) {
+      *out_ = group_->Read() - before_;
+    }
+  }
+  const PerfCounterGroup* group_;
+  CounterSample* out_;
+  CounterSample before_;
+};
+
+double MeasureSequential(uint64_t* data, uint64_t words, uint64_t passes,
+                         const PerfCounterGroup* group = nullptr,
+                         CounterSample* delta = nullptr) {
   uint64_t sum = 0;
+  CounterBracket bracket(group, delta);
   Timer timer;
   for (uint64_t p = 0; p < passes; ++p) {
     for (uint64_t i = 0; i < words; ++i) {
@@ -25,12 +48,14 @@ double MeasureSequential(uint64_t* data, uint64_t words, uint64_t passes) {
     }
   }
   double ns = timer.ElapsedNanos();
+  bracket.Close();
   g_sink = sum;
   return ns / static_cast<double>(words * passes);
 }
 
 double MeasureRandom(uint64_t* data, uint64_t words, uint64_t accesses,
-                     uint64_t seed) {
+                     uint64_t seed, const PerfCounterGroup* group = nullptr,
+                     CounterSample* delta = nullptr) {
   // Independent random loads: the index stream comes from a xorshift generator whose
   // cost (~1ns) is amortized by issuing 4 loads per draw from disjoint quarters.
   FM_CHECK(IsPowerOfTwo(words));
@@ -38,6 +63,7 @@ double MeasureRandom(uint64_t* data, uint64_t words, uint64_t accesses,
   uint64_t mask = quarter - 1;
   XorShiftRng rng(seed);
   uint64_t sum = 0;
+  CounterBracket bracket(group, delta);
   Timer timer;
   for (uint64_t i = 0; i < accesses / 4; ++i) {
     uint64_t r = rng.Next();
@@ -47,12 +73,14 @@ double MeasureRandom(uint64_t* data, uint64_t words, uint64_t accesses,
     sum += data[3 * quarter + ((r >> 48) & mask)];
   }
   double ns = timer.ElapsedNanos();
+  bracket.Close();
   g_sink = sum;
   return ns / static_cast<double>(accesses / 4 * 4);
 }
 
 double MeasurePointerChase(uint64_t* data, uint64_t words, uint64_t accesses,
-                           uint64_t seed) {
+                           uint64_t seed, const PerfCounterGroup* group = nullptr,
+                           CounterSample* delta = nullptr) {
   // Build a single random cycle (Sattolo's algorithm) so each load depends on the
   // previous one; stride granularity is one cache line (8 words) to defeat spatial
   // locality within the chain.
@@ -68,19 +96,27 @@ double MeasurePointerChase(uint64_t* data, uint64_t words, uint64_t accesses,
     data[order[i] * 8] = order[(i + 1) % nodes] * 8;
   }
   uint64_t pos = order[0] * 8;
+  CounterBracket bracket(group, delta);
   Timer timer;
   for (uint64_t i = 0; i < accesses; ++i) {
     pos = data[pos];
   }
   double ns = timer.ElapsedNanos();
+  bracket.Close();
   g_sink = pos;
   return ns / static_cast<double>(accesses);
 }
 
 }  // namespace
 
-double MeasureLoadLatencyNs(AccessPattern pattern, uint64_t working_set_bytes,
-                            const MemBenchConfig& config) {
+namespace {
+
+// Shared measurement core: sets up the buffer, runs a warm-up pass, then times
+// the real pass. When `profile` is non-null, a per-thread counter group brackets
+// only the timed pass, so the counter deltas attribute to exactly the measured
+// accesses.
+double RunMeasurement(AccessPattern pattern, uint64_t working_set_bytes,
+                      const MemBenchConfig& config, MemAccessProfile* profile) {
   uint64_t words = PrevPowerOfTwo(std::max<uint64_t>(working_set_bytes / 8, 64));
   AlignedBuffer<uint64_t> buffer(words);
   XorShiftRng rng(config.seed);
@@ -89,23 +125,64 @@ double MeasureLoadLatencyNs(AccessPattern pattern, uint64_t working_set_bytes,
   }
   uint64_t accesses = std::max<uint64_t>(config.min_total_accesses, words);
 
+  PerfCounterGroup counters;
+  const PerfCounterGroup* group = nullptr;
+  CounterSample delta;
+  CounterSample* delta_out = nullptr;
+  if (profile != nullptr) {
+    counters = PerfCounterGroup::OpenForThread(0);
+    group = &counters;
+    delta_out = &delta;
+  }
+
+  double ns = 0;
+  uint64_t measured_accesses = 0;
   switch (pattern) {
     case AccessPattern::kSequential: {
       uint64_t passes = std::max<uint64_t>(1, accesses / words);
       // Warm-up pass, then measure.
       MeasureSequential(buffer.data(), words, 1);
-      return MeasureSequential(buffer.data(), words, passes);
+      ns = MeasureSequential(buffer.data(), words, passes, group, delta_out);
+      measured_accesses = words * passes;
+      break;
     }
     case AccessPattern::kRandom:
       MeasureRandom(buffer.data(), words, words, config.seed);
-      return MeasureRandom(buffer.data(), words, accesses, config.seed + 1);
+      ns = MeasureRandom(buffer.data(), words, accesses, config.seed + 1, group,
+                         delta_out);
+      measured_accesses = accesses / 4 * 4;
+      break;
     case AccessPattern::kPointerChase: {
       // Dependent loads are ~10-100x slower; cap the chain length to bound runtime.
       uint64_t chase = std::max<uint64_t>(words / 8, std::min<uint64_t>(accesses / 8, 1 << 22));
-      return MeasurePointerChase(buffer.data(), words, chase, config.seed);
+      ns = MeasurePointerChase(buffer.data(), words, chase, config.seed, group,
+                               delta_out);
+      measured_accesses = chase;
+      break;
     }
   }
-  return 0;
+  if (profile != nullptr) {
+    profile->ns_per_access = ns;
+    profile->accesses = measured_accesses;
+    profile->counters = delta;
+    profile->counters_active = counters.active();
+  }
+  return ns;
+}
+
+}  // namespace
+
+double MeasureLoadLatencyNs(AccessPattern pattern, uint64_t working_set_bytes,
+                            const MemBenchConfig& config) {
+  return RunMeasurement(pattern, working_set_bytes, config, nullptr);
+}
+
+MemAccessProfile MeasureLoadLatencyProfile(AccessPattern pattern,
+                                           uint64_t working_set_bytes,
+                                           const MemBenchConfig& config) {
+  MemAccessProfile profile;
+  RunMeasurement(pattern, working_set_bytes, config, &profile);
+  return profile;
 }
 
 MemLatencyTable MeasureMemLatencyTable(const CacheInfo& info,

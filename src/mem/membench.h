@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/util/cache_info.h"
+#include "src/util/perf_counters.h"
 
 namespace fm {
 
@@ -38,6 +39,22 @@ struct MemLatencyTable {
 // inside/outside each level).
 MemLatencyTable MeasureMemLatencyTable(const CacheInfo& info,
                                        const MemBenchConfig& config = {});
+
+// Latency measurement plus hardware counters attributed to exactly the timed
+// access loop (buffer setup and the warm-up pass are excluded). The Table 1
+// reproduction uses this to report *measured* LLC-miss rates next to the
+// timings; `counters_active` is false (and counters all-zero) under the noop
+// perf backend.
+struct MemAccessProfile {
+  double ns_per_access = 0;
+  uint64_t accesses = 0;
+  CounterSample counters;
+  bool counters_active = false;
+};
+
+MemAccessProfile MeasureLoadLatencyProfile(AccessPattern pattern,
+                                           uint64_t working_set_bytes,
+                                           const MemBenchConfig& config = {});
 
 }  // namespace fm
 

@@ -1,0 +1,249 @@
+#include "src/util/perf_counters.h"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace fm {
+
+namespace {
+
+const char* const kCounterNames[kNumPerfCounters] = {
+    "cycles", "instructions", "llc_loads", "llc_misses", "l1d_misses",
+    "dtlb_misses"};
+
+PerfEventOpenFn g_open_override = nullptr;
+
+#if defined(__linux__)
+// The one place in the repo allowed to issue the raw syscall (fmlint rule
+// `perf-syscall`): everything else goes through PerfCounterGroup.
+long RealPerfEventOpen(void* attr, int32_t pid, int32_t cpu, int32_t group_fd,
+                       unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+long InvokePerfEventOpen(void* attr, int32_t pid, int32_t cpu, int32_t group_fd,
+                         unsigned long flags) {
+  PerfEventOpenFn fn = g_open_override;
+  return fn != nullptr ? fn(attr, pid, cpu, group_fd, flags)
+                       : RealPerfEventOpen(attr, pid, cpu, group_fd, flags);
+}
+
+uint64_t HwCacheConfig(uint64_t cache, uint64_t op, uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// (type, config) per PerfCounterId slot.
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+EventSpec EventForSlot(int slot) {
+  switch (static_cast<PerfCounterId>(slot)) {
+    case PerfCounterId::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case PerfCounterId::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case PerfCounterId::kLlcLoads:
+      return {PERF_TYPE_HW_CACHE,
+              HwCacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                            PERF_COUNT_HW_CACHE_RESULT_ACCESS)};
+    case PerfCounterId::kLlcMisses:
+      return {PERF_TYPE_HW_CACHE,
+              HwCacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                            PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case PerfCounterId::kL1dMisses:
+      return {PERF_TYPE_HW_CACHE,
+              HwCacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                            PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case PerfCounterId::kDtlbMisses:
+      return {PERF_TYPE_HW_CACHE,
+              HwCacheConfig(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                            PERF_COUNT_HW_CACHE_RESULT_MISS)};
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+#else
+long InvokePerfEventOpen(void* attr, int32_t pid, int32_t cpu, int32_t group_fd,
+                         unsigned long flags) {
+  PerfEventOpenFn fn = g_open_override;
+  if (fn != nullptr) {
+    return fn(attr, pid, cpu, group_fd, flags);
+  }
+  return -1;  // no perf_event_open outside Linux: permanent noop backend
+}
+#endif
+
+}  // namespace
+
+const char* PerfCounterName(int index) {
+  return index >= 0 && index < kNumPerfCounters ? kCounterNames[index]
+                                                : "unknown";
+}
+
+double CounterSample::Ipc() const {
+  return cycles() == 0 ? 0.0
+                       : static_cast<double>(instructions()) /
+                             static_cast<double>(cycles());
+}
+
+double CounterSample::LlcMissRatio() const {
+  return llc_loads() == 0 ? 0.0
+                          : static_cast<double>(llc_misses()) /
+                                static_cast<double>(llc_loads());
+}
+
+bool CounterSample::AllZero() const {
+  for (uint64_t v : values) {
+    if (v != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CounterSample& CounterSample::operator+=(const CounterSample& other) {
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    values[i] += other.values[i];
+  }
+  return *this;
+}
+
+CounterSample operator-(const CounterSample& a, const CounterSample& b) {
+  CounterSample out;
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    out.values[i] = a.values[i] >= b.values[i] ? a.values[i] - b.values[i] : 0;
+  }
+  return out;
+}
+
+void SetPerfEventOpenForTest(PerfEventOpenFn fn) { g_open_override = fn; }
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+#endif
+}
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterGroup&& other) noexcept {
+  std::memcpy(fds_, other.fds_, sizeof(fds_));
+  num_open_ = other.num_open_;
+  for (int& fd : other.fds_) {
+    fd = -1;
+  }
+  other.num_open_ = 0;
+}
+
+PerfCounterGroup& PerfCounterGroup::operator=(PerfCounterGroup&& other) noexcept {
+  if (this != &other) {
+    this->~PerfCounterGroup();
+    std::memcpy(fds_, other.fds_, sizeof(fds_));
+    num_open_ = other.num_open_;
+    for (int& fd : other.fds_) {
+      fd = -1;
+    }
+    other.num_open_ = 0;
+  }
+  return *this;
+}
+
+PerfCounterGroup PerfCounterGroup::OpenForThread(int32_t tid) {
+  PerfCounterGroup group;
+#if defined(__linux__)
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    EventSpec spec = EventForSlot(slot);
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    // Counting (not sampling); start immediately; user space only so the open
+    // succeeds up to perf_event_paranoid == 2.
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    long fd = InvokePerfEventOpen(&attr, tid, /*cpu=*/-1, /*group_fd=*/-1,
+                                  /*flags=*/0);
+    if (fd < 0) {
+      // EACCES/EPERM (paranoid), ENOSYS/ENODEV (no PMU, seccomp), ENOENT
+      // (event unsupported on this microarchitecture): skip this event. The
+      // group stays usable with whatever subset opened.
+      continue;
+    }
+    group.fds_[slot] = static_cast<int>(fd);
+    ++group.num_open_;
+  }
+#else
+  (void)tid;
+#endif
+  return group;
+}
+
+CounterSample PerfCounterGroup::Read() const {
+  CounterSample sample;
+#if defined(__linux__)
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    if (fds_[slot] < 0) {
+      continue;
+    }
+    // read_format: value, time_enabled, time_running.
+    uint64_t buf[3] = {0, 0, 0};
+    ssize_t got = read(fds_[slot], buf, sizeof(buf));
+    if (got < static_cast<ssize_t>(sizeof(buf))) {
+      continue;
+    }
+    uint64_t value = buf[0];
+    // Scale for multiplexing: the PMU only ran this event time_running out of
+    // time_enabled ns; extrapolate linearly (the standard perf convention).
+    if (buf[2] != 0 && buf[2] < buf[1]) {
+      value = static_cast<uint64_t>(static_cast<double>(value) *
+                                    (static_cast<double>(buf[1]) /
+                                     static_cast<double>(buf[2])));
+    }
+    sample.values[slot] = value;
+  }
+#endif
+  return sample;
+}
+
+StagePerfMonitor::StagePerfMonitor(const std::vector<int32_t>& worker_tids) {
+  groups_.reserve(worker_tids.size() + 1);
+  groups_.push_back(PerfCounterGroup::OpenForThread(0));  // coordinator
+  for (int32_t tid : worker_tids) {
+    groups_.push_back(PerfCounterGroup::OpenForThread(tid));
+  }
+  for (const PerfCounterGroup& g : groups_) {
+    if (g.active()) {
+      active_ = true;
+      break;
+    }
+  }
+  if (!active_) {
+    groups_.clear();  // pure noop: reads cost nothing
+  }
+}
+
+CounterSample StagePerfMonitor::ReadTotal() const {
+  CounterSample total;
+  for (const PerfCounterGroup& g : groups_) {
+    total += g.Read();
+  }
+  return total;
+}
+
+}  // namespace fm

@@ -1,0 +1,126 @@
+// Hardware performance counters via perf_event_open — the observability
+// substrate behind the per-stage cache-miss attribution (paper Table 1 / Fig 7:
+// per-step speed is governed by LLC/L2 miss rates, so this reproduction must
+// *measure* them, not only model them in the software cache simulator).
+//
+// Design points:
+//   - Six counters per measured thread: cycles, instructions, LLC loads, LLC
+//     load misses, L1D load misses, dTLB load misses. Each event is opened as
+//     its own leader (no strict group) with TIME_ENABLED/TIME_RUNNING read
+//     format, so kernel multiplexing degrades to scaled estimates instead of
+//     an all-or-nothing scheduling failure.
+//   - Graceful degradation is a hard contract: when the syscall is unavailable
+//     (ENOSYS, seccomp'd container) or forbidden (EACCES/EPERM under
+//     perf_event_paranoid), every constructor succeeds and yields an inactive
+//     object whose reads are all-zero; the backend reports "noop". Opening
+//     counters NEVER aborts a run.
+//   - The raw syscall is confined to src/util/perf_counters.cc (fmlint rule
+//     `perf-syscall`); tests inject failures through SetPerfEventOpenForTest.
+#ifndef SRC_UTIL_PERF_COUNTERS_H_
+#define SRC_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fm {
+
+inline constexpr int kNumPerfCounters = 6;
+
+enum class PerfCounterId : int {
+  kCycles = 0,
+  kInstructions = 1,
+  kLlcLoads = 2,
+  kLlcMisses = 3,
+  kL1dMisses = 4,
+  kDtlbMisses = 5,
+};
+
+// Stable snake_case name used as the JSON key ("cycles", "llc_misses", ...).
+const char* PerfCounterName(int index);
+
+// One snapshot (or delta) of the six counters. Multiplexed events are scaled
+// by time_enabled/time_running at read, so values are estimates when the PMU
+// was oversubscribed.
+struct CounterSample {
+  uint64_t values[kNumPerfCounters] = {};
+
+  uint64_t cycles() const { return values[0]; }
+  uint64_t instructions() const { return values[1]; }
+  uint64_t llc_loads() const { return values[2]; }
+  uint64_t llc_misses() const { return values[3]; }
+  uint64_t l1d_misses() const { return values[4]; }
+  uint64_t dtlb_misses() const { return values[5]; }
+
+  // Derived rates; 0 when the denominator is 0 (noop backend or unsupported
+  // event) so consumers never divide by zero.
+  double Ipc() const;
+  double LlcMissRatio() const;
+
+  bool AllZero() const;
+
+  CounterSample& operator+=(const CounterSample& other);
+  // Saturating per-slot difference (counters are monotone; saturation guards
+  // against multiplex-scaling jitter producing a small negative delta).
+  friend CounterSample operator-(const CounterSample& a, const CounterSample& b);
+};
+
+// Test shim mirroring the raw syscall: `attr` points at a perf_event_attr.
+// Return a negative value and set errno to simulate open failures (EACCES,
+// ENOSYS, ...). Pass nullptr to restore the real syscall. Not thread-safe
+// against concurrent opens — set it in test setup only.
+using PerfEventOpenFn = long (*)(void* attr, int32_t pid, int32_t cpu,
+                                 int32_t group_fd, unsigned long flags);
+void SetPerfEventOpenForTest(PerfEventOpenFn fn);
+
+// RAII bundle of the six counters for one thread. Counting starts at open;
+// callers attribute work by subtracting Read() snapshots.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;  // inactive: Read() returns zeros
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(PerfCounterGroup&& other) noexcept;
+  PerfCounterGroup& operator=(PerfCounterGroup&& other) noexcept;
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // Opens the counters for `tid` (0 = calling thread). Threads of the current
+  // process are always permissible targets when perf is available at all.
+  // Returns an inactive group when nothing could be opened.
+  static PerfCounterGroup OpenForThread(int32_t tid);
+
+  // True when at least one event is being counted.
+  bool active() const { return num_open_ > 0; }
+  int num_open() const { return num_open_; }
+
+  // Current counts (scaled for multiplexing). Zeros when inactive; individual
+  // events that failed to open stay zero.
+  CounterSample Read() const;
+
+ private:
+  int fds_[kNumPerfCounters] = {-1, -1, -1, -1, -1, -1};
+  int num_open_ = 0;
+};
+
+// Aggregated monitor over the coordinating thread plus a set of worker
+// threads (ThreadPool::WorkerSystemTids). The engine reads the total at stage
+// boundaries; because every stage is barrier-synchronized, the delta across a
+// stage is exactly the stage's work summed over all participating threads.
+class StagePerfMonitor {
+ public:
+  explicit StagePerfMonitor(const std::vector<int32_t>& worker_tids);
+
+  bool active() const { return active_; }
+  const char* backend() const { return active_ ? "perf" : "noop"; }
+
+  // Sum of all per-thread groups' current counts.
+  CounterSample ReadTotal() const;
+
+ private:
+  std::vector<PerfCounterGroup> groups_;
+  bool active_ = false;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_PERF_COUNTERS_H_

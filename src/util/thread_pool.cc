@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "src/util/env.h"
 #include "src/util/logging.h"
 
@@ -16,6 +21,7 @@ ThreadPool::ThreadPool(uint32_t threads) {
   }
   // The calling thread acts as worker 0; spawn the rest.
   workers_.reserve(threads - 1);
+  worker_tids_.assign(threads - 1, 0);
   for (uint32_t i = 1; i < threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
@@ -33,6 +39,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(uint32_t worker_index) {
+#if defined(__linux__)
+  worker_tids_[worker_index - 1] = static_cast<int32_t>(syscall(SYS_gettid));
+#endif
+  tids_registered_.fetch_add(1, std::memory_order_release);
   uint64_t seen_epoch = 0;
   while (true) {
     {
@@ -107,6 +117,19 @@ void ThreadPool::ParallelChunks(
       body(begin, end, worker_index);
     }
   });
+}
+
+std::vector<int32_t> ThreadPool::WorkerSystemTids() const {
+#if defined(__linux__)
+  // Workers register before their first wait; spin until all have (startup is
+  // microseconds, and this is only called once per monitored run).
+  while (tids_registered_.load(std::memory_order_acquire) < workers_.size()) {
+    std::this_thread::yield();
+  }
+  return worker_tids_;
+#else
+  return {};
+#endif
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -43,11 +43,20 @@ class ThreadPool {
   // Returns the global pool (FM_THREADS env var, default hardware concurrency).
   static ThreadPool& Global();
 
+  // Kernel thread ids of the spawned workers (the calling thread, which
+  // participates as worker 0, is not included — measure it as tid 0 yourself).
+  // Blocks briefly until every worker has registered its tid at startup.
+  // Linux-only; returns an empty vector elsewhere. Used by StagePerfMonitor to
+  // open per-thread hardware counter groups (src/util/perf_counters.h).
+  std::vector<int32_t> WorkerSystemTids() const;
+
  private:
   void WorkerLoop(uint32_t worker_index);
   void RunCurrentJob(uint32_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::vector<int32_t> worker_tids_;            // slot i-1 for worker i
+  std::atomic<uint32_t> tids_registered_{0};
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;

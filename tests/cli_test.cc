@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
+
+#include "tests/json_util.h"
 
 #ifndef FMWALK_PATH
 #error "FMWALK_PATH must be defined by the build"
@@ -68,6 +71,41 @@ TEST_F(CliTest, WeightedWalkRuns) {
   int rc = Run("--graph=" + (dir_ / "edges.txt").string() +
                " --weighted --steps=3 --rounds=1");
   EXPECT_EQ(rc, 0);
+}
+
+TEST_F(CliTest, MetricsJsonSmoke) {
+  // --metrics-json must exit 0 and emit a parseable fm-metrics-v1 document
+  // even where perf_event_open is unavailable (the backend then reads "noop").
+  auto metrics = dir_ / "metrics.json";
+  int rc = Run("--graph=" + (dir_ / "edges.txt").string() +
+               " --steps=4 --rounds=2 --metrics-json=" + metrics.string());
+  ASSERT_EQ(rc, 0);
+  ASSERT_TRUE(fs::exists(metrics));
+  std::ifstream in(metrics);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  fm::testjson::Value doc = fm::testjson::ParseJson(
+      text.substr(0, text.find_last_not_of('\n') + 1));
+  EXPECT_EQ(doc.Str("schema"), "fm-metrics-v1");
+  // Walk ran locally: backend is whatever the host supports, never "off".
+  EXPECT_TRUE(doc.Str("backend") == "perf" || doc.Str("backend") == "noop");
+  EXPECT_EQ(doc.Num("seed"), 1.0);
+  EXPECT_EQ(doc.At("run").Num("total_steps"), 800.0);  // 2*|V| walkers * 4 steps
+  // One step entry per (episode, step), each with per-stage counters.
+  ASSERT_EQ(doc.At("steps").array.size(), 4u);
+  for (const auto& step : doc.At("steps").array) {
+    EXPECT_TRUE(step.Has("scatter_s"));
+    EXPECT_TRUE(step.Has("sample_s"));
+    EXPECT_TRUE(step.Has("gather_s"));
+    EXPECT_TRUE(step.At("counters").Has("scatter"));
+    EXPECT_TRUE(step.At("counters").At("sample").Has("llc_misses"));
+  }
+  // VP attribution covers all walker-steps.
+  double share = 0;
+  for (const auto& cls : doc.At("vp_classes").array) {
+    share += cls.Num("walker_step_share");
+  }
+  EXPECT_NEAR(share, 1.0, 1e-4);  // %.6g rounding per class
 }
 
 TEST_F(CliTest, RejectsBadUsage) {

@@ -1,0 +1,168 @@
+// Cross-thread-count determinism: the engine's per-VP RNG streams are derived
+// from (seed, episode, step, vp) — never from thread identity — so the same
+// seed must produce bit-identical walks no matter how many workers execute
+// them. This pins down the property that makes perf runs comparable across
+// machines and makes any data race that corrupts walker state visible as a
+// hash mismatch (the TSan suite's semantic complement).
+//
+// The partition plan itself depends on PartitionPlan::Config::threads_sharing_l3
+// (the engine defaults it to the pool's thread count), and a different plan
+// legitimately reorders RNG streams. The test therefore pins the config —
+// matching how a reproducible production run would pin its plan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/gen/uniform_degree.h"
+#include "src/graph/degree_sort.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace fm {
+namespace {
+
+// FNV-1a over every stored walker position, row-major: any reordering or
+// corruption of any path changes the hash.
+uint64_t PathSetHash(const PathSet& paths) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(paths.num_walkers());
+  mix(paths.steps());
+  for (uint32_t step = 0; step <= paths.steps(); ++step) {
+    for (Wid w = 0; w < paths.num_walkers(); ++w) {
+      mix(paths.At(w, step));
+    }
+  }
+  return h;
+}
+
+// Skewed-degree deterministic graph, large enough for several VPs.
+CsrGraph BuildGraph() {
+  const Vid n = 2048;
+  GraphBuilder b(n);
+  XorShiftRng rng(99);
+  for (Vid v = 0; v < n; ++v) {
+    Degree deg = 1 + static_cast<Degree>(rng.NextBounded(1 + v % 16));
+    for (Degree i = 0; i < deg; ++i) {
+      Vid t = static_cast<Vid>(rng.NextBounded(n));
+      if (t == v) {
+        t = (t + 1) % n;
+      }
+      b.AddEdge(v, t);
+    }
+  }
+  return DegreeSort(b.Build()).graph;
+}
+
+struct RunDigest {
+  uint64_t path_hash = 0;
+  std::vector<uint64_t> counts;
+};
+
+RunDigest RunWith(const CsrGraph& g, uint32_t threads, WalkAlgorithm algorithm,
+                  double stop_probability) {
+  ThreadPool pool(threads);
+  EngineOptions options;
+  options.pool = &pool;
+  // Pin the plan config: threads_sharing_l3 feeds the planner's cache-level
+  // classification, and the engine would otherwise default it to the pool
+  // size, changing the plan (and hence the RNG stream layout) across runs.
+  options.plan.threads_sharing_l3 = 4;
+  WalkSpec spec;
+  spec.algorithm = algorithm;
+  spec.steps = 12;
+  spec.num_walkers = 4 * g.num_vertices();
+  spec.seed = 7;
+  spec.stop_probability = stop_probability;
+  spec.keep_paths = true;
+  if (algorithm == WalkAlgorithm::kNode2Vec) {
+    spec.node2vec = {0.5, 2.0};
+  }
+  FlashMobEngine engine(g, options);
+  WalkResult result = engine.Run(spec);
+  RunDigest digest;
+  digest.path_hash = PathSetHash(result.paths);
+  digest.counts = std::move(result.visit_counts);
+  return digest;
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<WalkAlgorithm, double>> {};
+
+TEST_P(DeterminismTest, SameSeedSameWalksAcrossThreadCounts) {
+  auto [algorithm, stop] = GetParam();
+  CsrGraph g = BuildGraph();
+  uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
+  std::vector<uint32_t> thread_counts{1, 4, hw};
+  RunDigest reference = RunWith(g, thread_counts[0], algorithm, stop);
+  ASSERT_NE(reference.path_hash, 0u);
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    RunDigest digest = RunWith(g, thread_counts[i], algorithm, stop);
+    EXPECT_EQ(digest.path_hash, reference.path_hash)
+        << "PathSet diverged at threads=" << thread_counts[i];
+    EXPECT_EQ(digest.counts, reference.counts)
+        << "visit counts diverged at threads=" << thread_counts[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndStops, DeterminismTest,
+    ::testing::Combine(::testing::Values(WalkAlgorithm::kDeepWalk,
+                                         WalkAlgorithm::kNode2Vec),
+                       ::testing::Values(0.0, 0.15)),
+    [](const ::testing::TestParamInfo<DeterminismTest::ParamType>& info) {
+      const char* algo = std::get<0>(info.param) == WalkAlgorithm::kDeepWalk
+                             ? "deepwalk"
+                             : "node2vec";
+      return std::string(algo) +
+             (std::get<1>(info.param) == 0.0 ? "_stop0" : "_stop15");
+    });
+
+TEST(DeterminismTest, RepeatedRunsWithSamePoolAreIdentical) {
+  // Same engine, same spec, run twice: episode state (presample cursors, RNG
+  // derivation) must reset completely between runs.
+  CsrGraph g = BuildGraph();
+  ThreadPool pool(3);
+  EngineOptions options;
+  options.pool = &pool;
+  options.plan.threads_sharing_l3 = 4;
+  WalkSpec spec;
+  spec.steps = 10;
+  spec.num_walkers = 2 * g.num_vertices();
+  spec.seed = 5;
+  FlashMobEngine engine(g, options);
+  uint64_t first = PathSetHash(engine.Run(spec).paths);
+  uint64_t second = PathSetHash(engine.Run(spec).paths);
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the hash is actually sensitive to walk content.
+  CsrGraph g = BuildGraph();
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.plan.threads_sharing_l3 = 4;
+  WalkSpec spec;
+  spec.steps = 10;
+  spec.num_walkers = 2 * g.num_vertices();
+  FlashMobEngine engine(g, options);
+  spec.seed = 1;
+  uint64_t a = PathSetHash(engine.Run(spec).paths);
+  spec.seed = 2;
+  uint64_t b = PathSetHash(engine.Run(spec).paths);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fm

@@ -19,6 +19,14 @@
 //                     member outside src/core/ — counts are produced by the
 //                     engine's streaming sharded accumulation; consumers read
 //                     them or run their own ShardedVisitCounter observer.
+//   perf-syscall      no direct perf_event_open use (the raw syscall, the
+//                     __NR_perf_event_open number, or struct perf_event_attr)
+//                     outside src/util/perf_counters.cc — all hardware-counter
+//                     access goes through PerfCounterGroup/StagePerfMonitor so
+//                     the graceful-degradation contract (noop backend instead
+//                     of a hard failure) holds everywhere, and tests can
+//                     intercept the one syscall site via
+//                     SetPerfEventOpenForTest.
 //
 // Comments and string/char literals are stripped before matching. A rule is
 // suppressed for one line by putting `fmlint:allow(rule-name)` in a comment on
@@ -201,6 +209,14 @@ class Linter {
                "visit_counts is engine output; outside src/core/ read it or "
                "accumulate via a ShardedVisitCounter observer");
       }
+      if (rel != "src/util/perf_counters.cc" &&
+          std::regex_search(line, perf_syscall_) &&
+          !Suppressed(orig, "perf-syscall")) {
+        Report(rel, i + 1, "perf-syscall",
+               "direct perf_event_open use bypasses the degradation contract; "
+               "go through PerfCounterGroup/StagePerfMonitor "
+               "(src/util/perf_counters.h)");
+      }
     }
   }
 
@@ -261,6 +277,12 @@ class Linter {
       R"((\+\+|--)[^;=]*(\.|->)\s*visit_counts)"
       R"(|(\.|->)\s*visit_counts\s*\.\s*(assign|resize|clear|push_back|emplace_back|swap)\s*\()"
       R"(|(\.|->)\s*visit_counts\s*(\[[^\]]*\]\s*)?(=[^=]|\+=|-=|\+\+|--))"};
+  // Raw syscall, syscall number, or attr struct; PerfEventOpenFn (the test
+  // shim typedef) deliberately does not match.
+  std::regex perf_syscall_{
+      R"((^|[^A-Za-z0-9_])(__NR_)?perf_event_open\s*[(,;])"
+      R"(|(^|[^A-Za-z0-9_])__NR_perf_event_open(^|[^A-Za-z0-9_])?)"
+      R"(|(^|[^A-Za-z0-9_])perf_event_attr([^A-Za-z0-9_]|$))"};
 };
 
 }  // namespace

@@ -23,6 +23,10 @@
 //   --profile         print a per-step stage breakdown (scatter/sample/gather
 //                     seconds and the per-VP walker spread) from the engine's
 //                     structured step records
+//   --metrics-json=F  write the fm-metrics-v1 observability JSON to F: run
+//                     metadata, per-stage hardware counters (perf_event_open;
+//                     "backend": "noop" where unavailable), derived rates, and
+//                     one entry per (episode, step)
 //   --threads=N       worker threads (default: all cores; or FM_THREADS)
 #include <algorithm>
 #include <cstdio>
@@ -52,6 +56,7 @@ struct Args {
   uint64_t seed = 1;
   std::string out_path;
   std::string pairs_path;
+  std::string metrics_path;
   bool stats = false;
   bool profile = false;
 };
@@ -72,7 +77,7 @@ int Usage(const char* self) {
                "  [--steps=N] [--rounds=N] [--walkers=N] [--p=F] [--q=F] "
                "[--weighted] [--stop=F]\n"
                "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
-               "[--profile]\n",
+               "[--profile] [--metrics-json=metrics.json]\n",
                self);
   return 2;
 }
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       args.out_path = value;
     } else if (ParseFlag(a, "--pairs", &value)) {
       args.pairs_path = value;
+    } else if (ParseFlag(a, "--metrics-json", &value)) {
+      args.metrics_path = value;
     } else if (std::strcmp(a, "--stats") == 0) {
       args.stats = true;
     } else if (std::strcmp(a, "--profile") == 0) {
@@ -176,7 +183,8 @@ int main(int argc, char** argv) {
     spec.keep_paths = !args.out_path.empty() || !args.pairs_path.empty();
 
     EngineOptions engine_options;
-    engine_options.record_step_stats = args.profile;
+    engine_options.record_step_stats = args.profile || !args.metrics_path.empty();
+    engine_options.collect_counters = !args.metrics_path.empty();
     FlashMobEngine engine(sorted.graph, engine_options);
     WalkResult result = engine.Run(spec);
     std::fprintf(stderr,
@@ -188,6 +196,25 @@ int main(int argc, char** argv) {
                  result.stats.times.other_s, result.stats.episodes);
 
     // ---- output ------------------------------------------------------------------
+    if (!args.metrics_path.empty()) {
+      MetricsMeta meta;
+      meta.tool = "fmwalk";
+      meta.graph = !args.graph_path.empty() ? args.graph_path : args.csr_path;
+      meta.algorithm = args.algo;
+      meta.seed = args.seed;
+      meta.threads = ThreadPool::Global().thread_count();
+      if (!WriteWalkMetricsJson(args.metrics_path, meta, result.stats,
+                                &engine.plan())) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.metrics_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote metrics (backend=%s) to %s\n",
+                   result.stats.perf_backend.empty()
+                       ? "off"
+                       : result.stats.perf_backend.c_str(),
+                   args.metrics_path.c_str());
+    }
     if (!args.out_path.empty()) {
       std::ofstream out(args.out_path);
       for (Wid w = 0; w < result.paths.num_walkers(); ++w) {
