@@ -89,9 +89,10 @@ void MissBreakdown(const char* name, const CsrGraph& g, BenchTrajectory* traj) {
 
 int main(int argc, char** argv) {
   using namespace fm;
-  std::string metrics_path = MetricsJsonArg(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  MaybeStartTrace(args);
   BenchTrajectory traj("fig1_highlight");
-  BenchTrajectory* tp = metrics_path.empty() ? nullptr : &traj;
+  BenchTrajectory* tp = args.metrics_path.empty() ? nullptr : &traj;
   PrintHeader("Figure 1a: per-step time highlight (DeepWalk)");
 
   const CacheInfo& info = DetectCacheInfo();
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: FlashMob cuts L2/L3 misses sharply; KnightKing's L1 misses "
       "fall straight through to DRAM\n");
-  MaybeWriteTrajectory(traj, metrics_path);
+  MaybeWriteTrajectory(traj, args.metrics_path);
+  MaybeWriteTrace(args);
   return 0;
 }

@@ -97,9 +97,10 @@ void PrintRows(const std::vector<Row>& rows, bool with_graphvite) {
 
 int main(int argc, char** argv) {
   using namespace fm;
-  std::string metrics_path = MetricsJsonArg(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  MaybeStartTrace(args);
   BenchTrajectory traj("fig8_overall");
-  BenchTrajectory* tp = metrics_path.empty() ? nullptr : &traj;
+  BenchTrajectory* tp = args.metrics_path.empty() ? nullptr : &traj;
   PrintHeader("Figure 8a: DeepWalk per-step time");
   std::vector<Row> deepwalk;
   for (const DatasetSpec& spec : AllDatasets()) {
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
   PrintRows(node2vec, false);
   std::printf("\npaper: 3.9-19.9x speedup over KnightKing (lower than DeepWalk "
               "due to cross-VP connectivity checks)\n");
-  MaybeWriteTrajectory(traj, metrics_path);
+  MaybeWriteTrajectory(traj, args.metrics_path);
+  MaybeWriteTrace(args);
   return 0;
 }

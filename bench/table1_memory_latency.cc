@@ -13,7 +13,8 @@
 
 int main(int argc, char** argv) {
   using namespace fm;
-  std::string metrics_path = MetricsJsonArg(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  MaybeStartTrace(args);
   PrintHeader("Table 1: Load latency from memory hierarchy levels (ns/load)");
 
   const CacheInfo& info = DetectCacheInfo();
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
   std::printf("pointer-chase@L3 %s random@DRAM (paper: slower)\n",
               chase_l3 > rand_dram ? "slower than" : "faster than");
 
-  if (!metrics_path.empty()) {
+  if (!args.metrics_path.empty()) {
     BenchTrajectory traj("table1_memory_latency");
     traj.set_backend(counters_live ? "perf" : "noop");
     const char* levels[4] = {"L1C", "L2C", "L3C", "LocalMem"};
@@ -105,7 +106,8 @@ int main(int argc, char** argv) {
                          profiles[p][l].counters);
       }
     }
-    MaybeWriteTrajectory(traj, metrics_path);
+    MaybeWriteTrajectory(traj, args.metrics_path);
   }
+  MaybeWriteTrace(args);
   return 0;
 }

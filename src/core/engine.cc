@@ -12,6 +12,7 @@
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
+#include "src/util/trace.h"
 
 namespace fm {
 namespace {
@@ -201,6 +202,9 @@ WalkResult FlashMobEngine::RunImpl(
   for (WalkObserver* sink : sinks) {
     sink->OnRunBegin(run_info);
   }
+  if (options_.progress != nullptr) {
+    options_.progress->OnRunBegin(num_episodes, spec.steps, total_walkers);
+  }
   result.stats.times.other_s += other_timer.Elapsed();
 
   Wid remaining = total_walkers;
@@ -209,6 +213,10 @@ WalkResult FlashMobEngine::RunImpl(
     Wid w = std::min(remaining, episode_cap);
     const Wid base_walker = total_walkers - remaining;
     remaining -= w;
+
+    TraceSpan episode_span("engine", "episode");
+    episode_span.Arg("episode", episode);
+    episode_span.Arg("walkers", w);
 
     // ---- place: walker storage + initial positions ---------------------------
     other_timer.Start();
@@ -230,56 +238,75 @@ WalkResult FlashMobEngine::RunImpl(
       if (perf.has_value()) {
         perf_delta();  // drop inter-stage work from the scatter attribution
       }
-      Timer shuffle_timer;
-      const Vid* aux = state.scatter_aux();
-      shuffler.Scatter(state.cur(), aux, w, state.sw(),
-                       aux != nullptr ? state.sw_prev() : nullptr);
-      // Walker-count conservation: the scatter must account for every walker
-      // (live ones in VP chunks, dead ones in the trailing bin) — losing or
-      // duplicating one here silently corrupts identity for the whole episode.
-      FM_DCHECK_EQ(shuffler.vp_offsets().back(), w);
-      FM_DCHECK_EQ(
-          static_cast<Wid>(std::count(state.cur(), state.cur() + w,
-                                      kInvalidVid)),
-          shuffler.dead_count());
-      state.AfterScatter(aux);
-      if constexpr (Hook::kEnabled) {
-        // Two passes over W (count + scatter), one over SW; aux doubles both.
-        CacheHierarchy* sim = hook.sim();
-        TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-        TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-        TouchStreaming(sim, state.sw(), w * sizeof(Vid));
+      double scatter_s = 0;
+      {
+        TraceSpan span("engine", "scatter");
+        span.Arg("step", step);
+        span.Arg("walkers", w);
+        Timer shuffle_timer;
+        const Vid* aux = state.scatter_aux();
+        shuffler.Scatter(state.cur(), aux, w, state.sw(),
+                         aux != nullptr ? state.sw_prev() : nullptr);
+        // Walker-count conservation: the scatter must account for every walker
+        // (live ones in VP chunks, dead ones in the trailing bin) — losing or
+        // duplicating one here silently corrupts identity for the whole
+        // episode.
+        FM_DCHECK_EQ(shuffler.vp_offsets().back(), w);
+        FM_DCHECK_EQ(
+            static_cast<Wid>(std::count(state.cur(), state.cur() + w,
+                                        kInvalidVid)),
+            shuffler.dead_count());
+        state.AfterScatter(aux);
+        if constexpr (Hook::kEnabled) {
+          // Two passes over W (count + scatter), one over SW; aux doubles both.
+          CacheHierarchy* sim = hook.sim();
+          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+          TouchStreaming(sim, state.sw(), w * sizeof(Vid));
+        }
+        scatter_s = shuffle_timer.Elapsed();
       }
-      const double scatter_s = shuffle_timer.Elapsed();
       result.stats.times.shuffle_s += scatter_s;
       const CounterSample scatter_counters = perf_delta();
       result.stats.counters.scatter += scatter_counters;
 
       // ---- sample: one task per VP --------------------------------------------
-      Timer sample_timer;
       const auto& vp_offsets = shuffler.vp_offsets();
-      Vid* sw = state.sw();
-      Vid* sw_prev = state.sw_prev();
-      pool->ParallelFor(num_vps, [&](uint64_t vp_i, uint32_t worker) {
-        Wid begin = vp_offsets[vp_i];
-        Wid end = vp_offsets[vp_i + 1];
-        if (begin == end) {
-          return;
-        }
-        XorShiftRng rng(DeriveSeed(
-            spec.seed, 0x5A3FULL ^ (episode << 44) ^
-                           (static_cast<uint64_t>(step) << 24) ^ vp_i));
-        kernel.SampleVp(static_cast<uint32_t>(vp_i), sw + begin,
-                        sw_prev != nullptr ? sw_prev + begin : nullptr,
-                        end - begin, spec.stop_probability, rng, hook);
-        std::span<const Vid> chunk(sw + begin, end - begin);
-        for (WalkObserver* sink : sinks) {
-          sink->OnSampleChunk(step, static_cast<uint32_t>(vp_i), chunk, worker);
-        }
-        result.stats.vp_walker_steps[vp_i] += end - begin;
-      });
-      result.stats.total_steps += vp_offsets[num_vps] - vp_offsets[0];
-      const double sample_s = sample_timer.Elapsed();
+      const Wid live_walkers = vp_offsets[num_vps] - vp_offsets[0];
+      double sample_s = 0;
+      {
+        TraceSpan span("engine", "sample");
+        span.Arg("step", step);
+        span.Arg("live", live_walkers);
+        Timer sample_timer;
+        Vid* sw = state.sw();
+        Vid* sw_prev = state.sw_prev();
+        pool->ParallelFor(num_vps, [&](uint64_t vp_i, uint32_t worker) {
+          Wid begin = vp_offsets[vp_i];
+          Wid end = vp_offsets[vp_i + 1];
+          if (begin == end) {
+            return;
+          }
+          TraceSpan vp_span("engine.vp", "sample_vp");
+          vp_span.Arg("step", step);
+          vp_span.Arg("vp", vp_i);
+          vp_span.Arg("walkers", end - begin);
+          XorShiftRng rng(DeriveSeed(
+              spec.seed, 0x5A3FULL ^ (episode << 44) ^
+                             (static_cast<uint64_t>(step) << 24) ^ vp_i));
+          kernel.SampleVp(static_cast<uint32_t>(vp_i), sw + begin,
+                          sw_prev != nullptr ? sw_prev + begin : nullptr,
+                          end - begin, spec.stop_probability, rng, hook);
+          std::span<const Vid> chunk(sw + begin, end - begin);
+          for (WalkObserver* sink : sinks) {
+            sink->OnSampleChunk(step, static_cast<uint32_t>(vp_i), chunk,
+                                worker);
+          }
+          result.stats.vp_walker_steps[vp_i] += end - begin;
+        });
+        sample_s = sample_timer.Elapsed();
+      }
+      result.stats.total_steps += live_walkers;
       result.stats.times.sample_s += sample_s;
       const CounterSample sample_counters = perf_delta();
       result.stats.counters.sample += sample_counters;
@@ -295,22 +322,28 @@ WalkResult FlashMobEngine::RunImpl(
         result.stats.times.other_s += other_timer.Elapsed();
       } else {
         // ---- reverse shuffle: SW -> W_{i+1} ------------------------------------
-        shuffle_timer.Start();
-        Vid* w_next = state.GatherTarget(step);
-        shuffler.Gather(state.cur(), w, state.sw(), w_next, nullptr, nullptr);
-        // Dead-walker monotonicity: the gather delivers every walker the scatter
-        // parked dead, plus any the sample stage just killed — the dead population
-        // can only grow (a dead walker never resurrects).
-        FM_DCHECK_GE(
-            static_cast<Wid>(std::count(w_next, w_next + w, kInvalidVid)),
-            shuffler.dead_count());
-        if constexpr (Hook::kEnabled) {
-          CacheHierarchy* sim = hook.sim();
-          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-          TouchStreaming(sim, state.sw(), w * sizeof(Vid));
-          TouchStreaming(sim, w_next, w * sizeof(Vid));
+        Vid* w_next = nullptr;
+        {
+          TraceSpan span("engine", "gather");
+          span.Arg("step", step);
+          span.Arg("live", live_walkers);
+          Timer gather_timer;
+          w_next = state.GatherTarget(step);
+          shuffler.Gather(state.cur(), w, state.sw(), w_next, nullptr, nullptr);
+          // Dead-walker monotonicity: the gather delivers every walker the
+          // scatter parked dead, plus any the sample stage just killed — the
+          // dead population can only grow (a dead walker never resurrects).
+          FM_DCHECK_GE(
+              static_cast<Wid>(std::count(w_next, w_next + w, kInvalidVid)),
+              shuffler.dead_count());
+          if constexpr (Hook::kEnabled) {
+            CacheHierarchy* sim = hook.sim();
+            TouchStreaming(sim, state.cur(), w * sizeof(Vid));
+            TouchStreaming(sim, state.sw(), w * sizeof(Vid));
+            TouchStreaming(sim, w_next, w * sizeof(Vid));
+          }
+          gather_s = gather_timer.Elapsed();
         }
-        gather_s = shuffle_timer.Elapsed();
         result.stats.times.shuffle_s += gather_s;
         gather_counters = perf_delta();
         result.stats.counters.gather += gather_counters;
@@ -338,7 +371,7 @@ WalkResult FlashMobEngine::RunImpl(
         rec.scatter_s = scatter_s;
         rec.sample_s = sample_s;
         rec.gather_s = gather_s;
-        rec.live_walkers = vp_offsets[num_vps] - vp_offsets[0];
+        rec.live_walkers = live_walkers;
         rec.vp_walkers.resize(num_vps);
         for (uint32_t i = 0; i < num_vps; ++i) {
           rec.vp_walkers[i] = vp_offsets[i + 1] - vp_offsets[i];
@@ -347,6 +380,11 @@ WalkResult FlashMobEngine::RunImpl(
         rec.sample_counters = sample_counters;
         rec.gather_counters = gather_counters;
         result.stats.step_records.push_back(std::move(rec));
+      }
+      // Heartbeat: every stage above is barrier-synchronized, so this point is
+      // a consistent end-of-step snapshot on the calling thread.
+      if (options_.progress != nullptr) {
+        options_.progress->OnStep(episode, step, live_walkers, live_walkers);
       }
     }
 
@@ -368,6 +406,9 @@ WalkResult FlashMobEngine::RunImpl(
   }
   if (counter.has_value()) {
     result.visit_counts = counter->TakeCounts();
+  }
+  if (options_.progress != nullptr) {
+    options_.progress->OnRunEnd();
   }
   result.stats.times.other_s += other_timer.Elapsed();
   return result;

@@ -35,6 +35,7 @@
 
 namespace fm {
 
+class ProgressReporter;
 class WalkObserver;
 
 struct StageTimes {
@@ -126,6 +127,10 @@ struct EngineOptions {
   // never a failure. Adds a few syscalls per stage boundary; leave off for
   // pure speed benchmarking.
   bool collect_counters = false;
+  // Optional live heartbeat (src/util/trace.h). Driven from the engine's
+  // per-step barrier on the calling thread — no extra thread, one call per
+  // step. Must outlive Run.
+  ProgressReporter* progress = nullptr;
 };
 
 class FlashMobEngine {

@@ -6,42 +6,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/json.h"
+
 namespace fm {
 namespace {
 
 // Minimal JSON emission. The schema only needs objects, arrays, strings, and
-// numbers; strings are escaped per RFC 8259 (the metadata may carry arbitrary
-// file paths).
+// numbers; string escaping (the metadata may carry arbitrary file paths) is
+// the shared RFC 8259 implementation in src/util/json.h, the same one the
+// trace exporter uses.
 void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  json::AppendQuoted(out, s);
 }
 
 std::string NumberToJson(double v) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace fm {
 namespace {
@@ -30,6 +31,9 @@ void Shuffler::CountAndPrefix(const Vid* w, Wid n) {
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    TraceSpan span("shuffle", "count_chunk");
+    span.Arg("chunk", c);
+    span.Arg("walkers", end - begin);
     Wid* counts = &starts_[c * row];
     for (Wid j = begin; j < end; ++j) {
       ++counts[BinOfValue(w[j])];
@@ -70,6 +74,9 @@ void Shuffler::ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    TraceSpan span("shuffle", "scatter_chunk");
+    span.Arg("chunk", c);
+    span.Arg("walkers", end - begin);
     // Working copy so starts_ stays intact for Gather's replay.
     std::vector<Wid> offs(starts_.begin() + c * row,
                           starts_.begin() + (c + 1) * row);
@@ -113,6 +120,9 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    TraceSpan span("shuffle", "scatter_outer_chunk");
+    span.Arg("chunk", c);
+    span.Arg("walkers", end - begin);
     // Per-(chunk, bin) start = bin base + walkers of earlier chunks in this bin.
     // Earlier chunks' contribution per bin = sum over member VPs of
     // (starts_[c][vp] - vp_offsets_[vp]), since starts_[c][vp] already accumulates
@@ -144,6 +154,8 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
   // chunk into SW; single-VP bins copy through. Parallel over groups.
   const auto& groups = plan_->groups();
   pool_->ParallelFor(groups.size() + 1, [&](uint64_t gi, uint32_t) {
+    TraceSpan span("shuffle", "scatter_inner_group");
+    span.Arg("group", gi);
     if (gi == groups.size()) {
       // Dead bin: copy through.
       Wid begin = vp_offsets_[num_vps_];
@@ -219,6 +231,9 @@ void Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
+    TraceSpan span("shuffle", "gather_chunk");
+    span.Arg("chunk", c);
+    span.Arg("walkers", end - begin);
     std::vector<Wid> offs(starts_.begin() + c * row,
                           starts_.begin() + (c + 1) * row);
     for (Wid j = begin; j < end; ++j) {

@@ -6,6 +6,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace fm {
 
@@ -70,7 +71,10 @@ void ShardedVisitCounter::MergeShards(ThreadPool* pool) {
                        });
 }
 
-void ShardedVisitCounter::OnEpisodeEnd(uint64_t /*episode*/) {
+void ShardedVisitCounter::OnEpisodeEnd(uint64_t episode) {
+  TraceSpan span("observer", "merge_visit_shards");
+  span.Arg("episode", episode);
+  span.Arg("vertices", num_vertices_);
   MergeShards(pool_);
 }
 
@@ -100,7 +104,9 @@ void PathSetSink::OnWalkerChunk(uint32_t step, Wid begin,
             episode_paths_.Row(step + 1).begin() + begin);
 }
 
-void PathSetSink::OnEpisodeEnd(uint64_t /*episode*/) {
+void PathSetSink::OnEpisodeEnd(uint64_t episode) {
+  TraceSpan span("observer", "append_paths");
+  span.Arg("episode", episode);
   paths_.Append(std::move(episode_paths_));
   episode_paths_ = PathSet();
 }

@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace fm {
 
 DegreeSortedGraph DegreeSort(const CsrGraph& graph) {
+  TraceSpan span("graph", "degree_sort");
   Vid n = graph.num_vertices();
+  span.Arg("vertices", n);
+  span.Arg("edges", graph.num_edges());
   DegreeSortedGraph result;
   result.new_to_old.resize(n);
   result.old_to_new.resize(n);

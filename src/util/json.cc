@@ -1,0 +1,235 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fm {
+namespace json {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  AppendEscaped(out, s);
+  out->push_back('"');
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  AppendEscaped(&out, s);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value Parse() {
+    Value v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing content");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "' got '" + Peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    char c = Peek();
+    Value v;
+    if (c == '{') {
+      v.type = Value::Type::kObject;
+      ++pos_;
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        SkipWs();
+        std::string key = ParseString();
+        SkipWs();
+        Expect(':');
+        v.object[key] = ParseValue();
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        Expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.type = Value::Type::kArray;
+      ++pos_;
+      SkipWs();
+      if (Peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(ParseValue());
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        Expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = Value::Type::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (Consume("true")) {
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (Consume("false")) {
+      v.type = Value::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (Consume("null")) {
+      return v;
+    }
+    v.type = Value::Type::kNumber;
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      Fail("not a value");
+    }
+    v.number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("dangling escape");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("short \\u escape");
+          }
+          unsigned code = std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          // The emitters only \u-escape control characters (< 0x20).
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          Fail("bad escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace json
+}  // namespace fm

@@ -1,0 +1,292 @@
+#include "src/util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <fstream>
+
+#include "src/util/json.h"
+
+namespace fm {
+namespace {
+
+// Pending name for threads that announce themselves before tracing is enabled
+// (ThreadPool workers name themselves at startup); applied when the thread
+// registers its ring.
+thread_local std::string t_pending_name;
+
+struct ThreadSlot {
+  TraceRingBuffer* buf = nullptr;
+  uint64_t epoch = 0;
+};
+thread_local ThreadSlot t_slot;
+
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+TraceRingBuffer::TraceRingBuffer(uint32_t tid, std::string thread_name,
+                                 size_t capacity)
+    : events_(std::max<size_t>(capacity, 1)),
+      tid_(tid),
+      thread_name_(std::move(thread_name)) {}
+
+Tracer& Tracer::Get() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<size_t>(events_per_thread, 1);
+  enabled_flag_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  enabled_flag_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_flag_.store(false, std::memory_order_relaxed);
+  buffers_.clear();
+  capacity_ = kDefaultCapacity;
+  // Invalidate every thread's cached ring pointer.
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+TraceRingBuffer* Tracer::CurrentBuffer() {
+  if (!enabled()) {
+    return nullptr;
+  }
+  uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (t_slot.epoch == epoch) {
+    return t_slot.buf;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t tid = static_cast<uint32_t>(buffers_.size());
+  std::string name = t_pending_name.empty()
+                         ? "thread-" + std::to_string(tid)
+                         : t_pending_name;
+  buffers_.push_back(
+      std::make_unique<TraceRingBuffer>(tid, std::move(name), capacity_));
+  t_slot.buf = buffers_.back().get();
+  t_slot.epoch = epoch;
+  return t_slot.buf;
+}
+
+void Tracer::SetThisThreadName(const std::string& name) {
+  t_pending_name = name;
+  Tracer& tracer = Get();
+  uint64_t epoch = tracer.epoch_.load(std::memory_order_acquire);
+  if (t_slot.epoch == epoch && t_slot.buf != nullptr) {
+    std::lock_guard<std::mutex> lock(tracer.mutex_);
+    t_slot.buf->set_thread_name(name);
+  }
+}
+
+uint64_t Tracer::TotalEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += buf->pushed();
+  }
+  return total;
+}
+
+uint64_t Tracer::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += buf->dropped();
+  }
+  return total;
+}
+
+std::string Tracer::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Rebase timestamps so the trace starts at ts=0 (Perfetto renders absolute
+  // steady-clock epochs far off-screen otherwise).
+  uint64_t base_ns = UINT64_MAX;
+  for (const auto& buf : buffers_) {
+    buf->ForEach([&](const TraceEvent& e) {
+      base_ns = std::min(base_ns, e.start_ns);
+    });
+  }
+  if (base_ns == UINT64_MAX) {
+    base_ns = 0;
+  }
+
+  std::string out;
+  out.reserve(1024 + 160 * static_cast<size_t>(TotalEventsLocked()));
+  out += "{\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"fm\"}}";
+  for (const auto& buf : buffers_) {
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buf->tid());
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    json::AppendQuoted(&out, buf->thread_name());
+    out += "}}";
+  }
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    dropped += buf->dropped();
+    buf->ForEach([&](const TraceEvent& e) {
+      ++events;
+      out += ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(buf->tid());
+      out += ",\"cat\":";
+      json::AppendQuoted(&out, e.category != nullptr ? e.category : "");
+      out += ",\"name\":";
+      json::AppendQuoted(&out, e.name != nullptr ? e.name : "");
+      out += ",\"ts\":";
+      AppendMicros(&out, e.start_ns - base_ns);
+      out += ",\"dur\":";
+      AppendMicros(&out, e.dur_ns);
+      if (e.num_args > 0) {
+        out += ",\"args\":{";
+        for (uint32_t i = 0; i < e.num_args; ++i) {
+          if (i != 0) {
+            out += ',';
+          }
+          json::AppendQuoted(&out, e.arg_names[i] != nullptr ? e.arg_names[i]
+                                                             : "");
+          out += ':';
+          out += std::to_string(e.arg_values[i]);
+        }
+        out += '}';
+      }
+      out += '}';
+    });
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ns\",\n\"otherData\":{";
+  out += "\"exported_events\":" + std::to_string(events);
+  out += ",\"dropped_events\":" + std::to_string(dropped);
+  out += ",\"threads\":" + std::to_string(buffers_.size());
+  out += "}}\n";
+  return out;
+}
+
+uint64_t Tracer::TotalEventsLocked() const {
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += std::min<uint64_t>(buf->pushed(), buf->capacity());
+  }
+  return total;
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ExportJson();
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::Init(const char* category, const char* name) {
+  buf_ = Tracer::Get().CurrentBuffer();
+  if (buf_ == nullptr) {
+    return;
+  }
+  category_ = category;
+  name_ = name;
+  start_ns_ = TraceNowNs();
+}
+
+void TraceSpan::Finish() {
+  TraceEvent event;
+  event.category = category_;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = TraceNowNs() - start_ns_;
+  event.num_args = num_args_;
+  for (uint32_t i = 0; i < num_args_; ++i) {
+    event.arg_names[i] = arg_names_[i];
+    event.arg_values[i] = arg_values_[i];
+  }
+  buf_->Push(event);
+}
+
+ProgressReporter::ProgressReporter(double interval_s, std::FILE* out)
+    : interval_s_(interval_s), out_(out != nullptr ? out : stderr) {}
+
+void ProgressReporter::OnRunBegin(uint64_t total_episodes,
+                                  uint32_t steps_per_episode,
+                                  uint64_t total_walkers) {
+  total_episodes_ = total_episodes;
+  steps_per_episode_ = steps_per_episode;
+  total_walkers_ = total_walkers;
+  walker_steps_done_ = 0;
+  ticks_done_ = 0;
+  lines_printed_ = 0;
+  start_ns_ = TraceNowNs();
+  last_print_ns_ = start_ns_;
+}
+
+void ProgressReporter::OnStep(uint64_t episode, uint32_t step,
+                              uint64_t live_walkers,
+                              uint64_t walker_steps_delta) {
+  ++ticks_done_;
+  walker_steps_done_ += walker_steps_delta;
+  uint64_t now = TraceNowNs();
+  if (static_cast<double>(now - last_print_ns_) < interval_s_ * 1e9) {
+    return;
+  }
+  last_print_ns_ = now;
+  PrintLine(episode, step, live_walkers, /*final_line=*/false);
+}
+
+void ProgressReporter::OnRunEnd() {
+  PrintLine(total_episodes_ > 0 ? total_episodes_ - 1 : 0,
+            steps_per_episode_ > 0 ? steps_per_episode_ - 1 : 0,
+            /*live_walkers=*/0, /*final_line=*/true);
+}
+
+void ProgressReporter::PrintLine(uint64_t episode, uint32_t step,
+                                 uint64_t live_walkers, bool final_line) {
+  double elapsed_s =
+      static_cast<double>(TraceNowNs() - start_ns_) / 1e9;
+  double rate = elapsed_s > 0
+                    ? static_cast<double>(walker_steps_done_) / elapsed_s
+                    : 0;
+  uint64_t dropped = Tracer::Get().TotalDropped();
+  if (final_line) {
+    std::fprintf(out_,
+                 "[fm] done: %" PRIu64 " walker-steps in %.1fs "
+                 "(%.2fM steps/s), dropped spans %" PRIu64 "\n",
+                 walker_steps_done_, elapsed_s, rate / 1e6, dropped);
+  } else {
+    uint64_t total_ticks =
+        total_episodes_ * static_cast<uint64_t>(steps_per_episode_);
+    double frac = total_ticks > 0 ? static_cast<double>(ticks_done_) /
+                                        static_cast<double>(total_ticks)
+                                  : 0;
+    double eta_s = frac > 0 ? elapsed_s * (1.0 - frac) / frac : 0;
+    std::fprintf(out_,
+                 "[fm] ep %" PRIu64 "/%" PRIu64 " step %u/%u live %" PRIu64
+                 " %.2fM steps/s ETA %.0fs dropped %" PRIu64 "\n",
+                 episode + 1, total_episodes_, step + 1, steps_per_episode_,
+                 live_walkers, rate / 1e6, eta_s, dropped);
+  }
+  std::fflush(out_);
+  ++lines_printed_;
+}
+
+}  // namespace fm

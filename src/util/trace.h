@@ -1,0 +1,236 @@
+// Structured span tracing with per-thread lock-free ring buffers, plus the
+// step-barrier progress heartbeat.
+//
+// Design (DESIGN.md §7d):
+//   - Always compiled, off by default. `FM_TRACE_SPAN(cat, name)` costs one
+//     relaxed atomic load when tracing is disabled; no allocation, no locking,
+//     no clock read.
+//   - When enabled, each thread records into its own fixed-capacity ring
+//     buffer (registered lazily on first span, one mutex acquisition per
+//     thread lifetime). The hot path is a monotonic-clock read plus a plain
+//     array store; on overflow the ring drops the oldest event and counts it —
+//     tracing can never block or slow the pipeline by more than the ring.
+//   - Export writes Chrome trace-event / Perfetto-compatible JSON ("X"
+//     complete events with pid/tid, "M" thread-name metadata) that loads
+//     directly in ui.perfetto.dev or chrome://tracing. Export must only run
+//     while no spans are being recorded (after the run's barriers / joins);
+//     the live-readable parts (event and dropped counts) are relaxed atomics.
+//
+// The ProgressReporter heartbeat is driven from the engine's existing
+// per-step barrier (EngineOptions::progress) so it needs no extra thread: the
+// main thread calls OnStep after each gather and the reporter prints at most
+// once per interval.
+#ifndef SRC_UTIL_TRACE_H_
+#define SRC_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fm {
+
+// One recorded span. Category/name/arg keys must be string literals (or
+// otherwise outlive the tracer); events store the pointers, not copies.
+struct TraceEvent {
+  static constexpr uint32_t kMaxArgs = 3;
+  const char* category = nullptr;
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // steady-clock ns (absolute; exporter rebases)
+  uint64_t dur_ns = 0;
+  uint32_t num_args = 0;
+  const char* arg_names[kMaxArgs] = {nullptr, nullptr, nullptr};
+  uint64_t arg_values[kMaxArgs] = {0, 0, 0};
+};
+
+// Per-thread fixed-capacity ring. Single writer (the owning thread); the
+// counters are relaxed atomics so the heartbeat can read totals live. Event
+// payloads are only read at export time, after writers have quiesced.
+class TraceRingBuffer {
+ public:
+  TraceRingBuffer(uint32_t tid, std::string thread_name, size_t capacity);
+
+  void Push(const TraceEvent& event) {
+    uint64_t h = head_.load(std::memory_order_relaxed);
+    events_[h % events_.size()] = event;
+    head_.store(h + 1, std::memory_order_relaxed);
+  }
+
+  // Total events ever pushed / dropped (ring overwrote them before export).
+  uint64_t pushed() const { return head_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    uint64_t h = pushed();
+    return h > events_.size() ? h - events_.size() : 0;
+  }
+  size_t capacity() const { return events_.size(); }
+  uint32_t tid() const { return tid_; }
+  const std::string& thread_name() const { return thread_name_; }
+  void set_thread_name(std::string name) { thread_name_ = std::move(name); }
+
+  // Visits surviving events oldest-first. Caller must ensure the owning
+  // thread is not concurrently pushing (post-run export contract).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t h = head_.load(std::memory_order_relaxed);
+    uint64_t begin = h > events_.size() ? h - events_.size() : 0;
+    for (uint64_t i = begin; i < h; ++i) {
+      fn(events_[i % events_.size()]);
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<uint64_t> head_{0};
+  uint32_t tid_;
+  std::string thread_name_;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;  // events per thread
+
+  static Tracer& Get();
+
+  // Starts recording. Threads register their ring (of `events_per_thread`
+  // capacity) lazily on their first span. Idempotent; capacity applies to
+  // rings created after the call.
+  void Enable(size_t events_per_thread = kDefaultCapacity);
+
+  // Stops recording new spans. Buffers are retained for export.
+  void Disable();
+
+  // Drops all buffers and thread registrations and disables recording. Only
+  // safe when no span is alive anywhere (tests; between runs).
+  void Reset();
+
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  // The calling thread's ring, registering it if needed. nullptr if disabled.
+  TraceRingBuffer* CurrentBuffer();
+
+  // Names the calling thread in exported traces. Effective retroactively if
+  // the thread already has a ring, and remembered for rings created later
+  // (ThreadPool workers name themselves at startup, usually before Enable).
+  static void SetThisThreadName(const std::string& name);
+
+  // Live totals across all registered rings (relaxed reads; safe concurrent
+  // with writers).
+  uint64_t TotalEvents() const;
+  uint64_t TotalDropped() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...M+X events...],
+  // "displayTimeUnit":"ns", "otherData":{...}}. ts/dur are microseconds
+  // rebased so the earliest event starts at 0. Writers must be quiescent.
+  std::string ExportJson() const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  // Surviving (exportable) event count; caller holds mutex_.
+  uint64_t TotalEventsLocked() const;
+
+  friend class TraceSpan;
+
+  static std::atomic<bool> enabled_flag_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceRingBuffer>> buffers_;
+  size_t capacity_ = kDefaultCapacity;
+  // Bumped by Reset so threads drop their cached ring pointer.
+  std::atomic<uint64_t> epoch_{1};
+};
+
+// Steady-clock nanoseconds (the one sanctioned raw-clock site besides
+// Timer/perf_counters; see the fmlint raw-clock rule).
+uint64_t TraceNowNs();
+
+// RAII span: records a complete event covering its lifetime on the calling
+// thread's ring. When tracing is disabled, construction is a relaxed load and
+// destruction a null check.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (Tracer::enabled()) {
+      Init(category, name);
+    }
+  }
+  ~TraceSpan() {
+    if (buf_ != nullptr) {
+      Finish();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a numeric arg (up to TraceEvent::kMaxArgs; extras are ignored).
+  // `key` must be a string literal.
+  void Arg(const char* key, uint64_t value) {
+    if (buf_ != nullptr && num_args_ < TraceEvent::kMaxArgs) {
+      arg_names_[num_args_] = key;
+      arg_values_[num_args_] = value;
+      ++num_args_;
+    }
+  }
+
+ private:
+  void Init(const char* category, const char* name);
+  void Finish();
+
+  TraceRingBuffer* buf_ = nullptr;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t num_args_ = 0;
+  const char* arg_names_[TraceEvent::kMaxArgs] = {nullptr, nullptr, nullptr};
+  uint64_t arg_values_[TraceEvent::kMaxArgs] = {0, 0, 0};
+};
+
+#define FM_TRACE_CONCAT2(a, b) a##b
+#define FM_TRACE_CONCAT(a, b) FM_TRACE_CONCAT2(a, b)
+// Anonymous scope span; use a named `TraceSpan span(...)` when attaching args.
+#define FM_TRACE_SPAN(category, name) \
+  ::fm::TraceSpan FM_TRACE_CONCAT(fm_trace_span_, __LINE__)(category, name)
+
+// Step-barrier progress heartbeat (opt-in via EngineOptions::progress /
+// `fmwalk --progress[=SECONDS]`). The engine's main thread calls OnStep after
+// every per-step barrier; the reporter prints at most once per interval:
+// episode/step position, live walkers, walker-steps/sec, ETA from the step
+// fraction, and the tracer's dropped-span count. interval_s == 0 prints every
+// step (tests, very long steps).
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(double interval_s = 10.0, std::FILE* out = nullptr);
+
+  void OnRunBegin(uint64_t total_episodes, uint32_t steps_per_episode,
+                  uint64_t total_walkers);
+  void OnStep(uint64_t episode, uint32_t step, uint64_t live_walkers,
+              uint64_t walker_steps_delta);
+  void OnRunEnd();
+
+  uint64_t lines_printed() const { return lines_printed_; }
+
+ private:
+  void PrintLine(uint64_t episode, uint32_t step, uint64_t live_walkers,
+                 bool final_line);
+
+  double interval_s_;
+  std::FILE* out_;  // defaults to stderr
+  uint64_t total_episodes_ = 0;
+  uint32_t steps_per_episode_ = 0;
+  uint64_t total_walkers_ = 0;
+  uint64_t walker_steps_done_ = 0;
+  uint64_t ticks_done_ = 0;
+  uint64_t start_ns_ = 0;
+  uint64_t last_print_ns_ = 0;
+  uint64_t lines_printed_ = 0;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_TRACE_H_

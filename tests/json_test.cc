@@ -1,0 +1,94 @@
+// Shared JSON layer (src/util/json.h): RFC 8259 escaping cases, parser error
+// behavior, and the regression that motivated factoring one escaper: a metrics
+// document whose graph path carries quotes/backslashes/control characters must
+// parse and round-trip through every emitter that uses the shared code.
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/core/metrics.h"
+
+namespace fm {
+namespace {
+
+TEST(JsonEscapeTest, PlainStringsPassThrough) {
+  EXPECT_EQ(json::JsonEscape("hello world_123"), "hello world_123");
+  EXPECT_EQ(json::JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  // Other control characters become \u00XX.
+  EXPECT_EQ(json::JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json::JsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscapeTest, AppendQuotedWrapsInQuotes) {
+  std::string out = "x:";
+  json::AppendQuoted(&out, "p\"q");
+  EXPECT_EQ(out, "x:\"p\\\"q\"");
+}
+
+TEST(JsonEscapeTest, EscapedStringsRoundTripThroughTheParser) {
+  const std::string nasty = "C:\\graphs\\\"my graph\"\nfinal\x02.bin";
+  std::string doc = "{\"path\":";
+  json::AppendQuoted(&doc, nasty);
+  doc += '}';
+  json::Value v = json::ParseJson(doc);
+  EXPECT_EQ(v.Str("path"), nasty);
+}
+
+TEST(JsonParseTest, ParsesTheBasicGrammar) {
+  json::Value v = json::ParseJson(
+      R"({"a":1.5,"b":[1,2,3],"c":{"d":"s"},"t":true,"n":null})");
+  EXPECT_EQ(v.Num("a"), 1.5);
+  EXPECT_EQ(v.At("b").array.size(), 3u);
+  EXPECT_EQ(v.At("c").Str("d"), "s");
+  EXPECT_TRUE(v.At("t").boolean);
+  EXPECT_EQ(v.At("n").type, json::Value::Type::kNull);
+}
+
+TEST(JsonParseTest, ThrowsOnMalformedInput) {
+  EXPECT_THROW(json::ParseJson("{"), std::runtime_error);
+  EXPECT_THROW(json::ParseJson("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(json::ParseJson("[1,2,"), std::runtime_error);
+  EXPECT_THROW(json::ParseJson("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::ParseJson("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::ParseJson(""), std::runtime_error);
+}
+
+// Regression: metrics metadata carries arbitrary file paths. Before the shared
+// escaper, a path with a quote produced an unparseable document.
+TEST(JsonMetricsTest, MetricsJsonSurvivesHostilePaths) {
+  MetricsMeta meta;
+  meta.tool = "fmwalk";
+  meta.graph = "/data/\"quoted\"\\backslash\ngraph.el";
+  meta.algorithm = "deepwalk";
+  meta.seed = 42;
+  meta.threads = 8;
+  WalkStats stats;
+  stats.total_steps = 10;
+
+  std::string doc = WalkMetricsJson(meta, stats, nullptr);
+  json::Value v = json::ParseJson(doc);
+  EXPECT_EQ(v.Str("schema"), "fm-metrics-v1");
+  EXPECT_EQ(v.Str("graph"), meta.graph);
+  EXPECT_EQ(v.Str("tool"), "fmwalk");
+}
+
+TEST(JsonMetricsTest, BenchTrajectorySurvivesHostileSeriesNames) {
+  BenchTrajectory traj("fig\"1\"");
+  traj.Add("series\\one", "p\nq", 1.25, "s");
+  json::Value v = json::ParseJson(traj.ToJson());
+  EXPECT_EQ(v.Str("bench"), "fig\"1\"");
+  EXPECT_EQ(v.At("points").array.at(0).Str("series"), "series\\one");
+  EXPECT_EQ(v.At("points").array.at(0).Str("point"), "p\nq");
+}
+
+}  // namespace
+}  // namespace fm

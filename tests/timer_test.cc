@@ -1,0 +1,69 @@
+// Timer (src/util/timer.h): Lap() folds the lap into the total and restarts
+// the lap, so consecutive laps partition wall time and TotalSeconds() is
+// exactly the sum of the returned laps; Reset clears; Elapsed is monotonic.
+#include "src/util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace fm {
+namespace {
+
+// Spins until `t` has seen at least `seconds` elapse (steady clock, so this
+// cannot hang on NTP adjustments).
+void BusyWaitSeconds(const Timer& t, double seconds) {
+  while (t.Elapsed() < seconds) {
+  }
+}
+
+TEST(TimerTest, LapFoldsIntoTotalExactly) {
+  Timer t;
+  double total = 0;
+  for (int i = 0; i < 3; ++i) {
+    BusyWaitSeconds(t, 0.01);
+    double lap = t.Lap();
+    EXPECT_GE(lap, 0.01);
+    total += lap;
+    // The total is exactly the sum of returned laps (same additions, same
+    // doubles — not an approximation).
+    EXPECT_DOUBLE_EQ(t.TotalSeconds(), total);
+  }
+}
+
+TEST(TimerTest, LapRestartsTheLap) {
+  Timer t;
+  BusyWaitSeconds(t, 0.05);
+  double first = t.Lap();
+  EXPECT_GE(first, 0.05);
+  // Immediately after Lap() the running lap restarted from ~zero: a second
+  // Lap() must be far smaller than the busy-wait, not include it again.
+  double second = t.Lap();
+  EXPECT_LT(second, 0.05);
+  EXPECT_GE(second, 0.0);
+  EXPECT_DOUBLE_EQ(t.TotalSeconds(), first + second);
+}
+
+TEST(TimerTest, ResetClearsTotalAndRestarts) {
+  Timer t;
+  BusyWaitSeconds(t, 0.01);
+  t.Lap();
+  EXPECT_GT(t.TotalSeconds(), 0.0);
+  t.Reset();
+  EXPECT_DOUBLE_EQ(t.TotalSeconds(), 0.0);
+  // Elapsed restarted too.
+  EXPECT_LT(t.Elapsed(), 0.01);
+}
+
+TEST(TimerTest, ElapsedIsMonotonicAndStartResets) {
+  Timer t;
+  double a = t.Elapsed();
+  double b = t.Elapsed();
+  EXPECT_GE(b, a);
+  BusyWaitSeconds(t, 0.01);
+  t.Start();
+  EXPECT_LT(t.Elapsed(), 0.01);
+  // Start() does not touch the accumulated total.
+  EXPECT_DOUBLE_EQ(t.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fm

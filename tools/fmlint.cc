@@ -19,6 +19,12 @@
 //                     member outside src/core/ — counts are produced by the
 //                     engine's streaming sharded accumulation; consumers read
 //                     them or run their own ShardedVisitCounter observer.
+//   raw-clock         no direct steady_clock/system_clock/high_resolution_clock
+//                     ::now(), clock_gettime, or gettimeofday outside
+//                     src/util/timer.h, src/util/trace.cc, and
+//                     src/util/perf_counters.cc — timing flows through Timer /
+//                     TraceNowNs so spans and stage seconds come from one
+//                     monotonic clock and stay mutually comparable.
 //   perf-syscall      no direct perf_event_open use (the raw syscall, the
 //                     __NR_perf_event_open number, or struct perf_event_attr)
 //                     outside src/util/perf_counters.cc — all hardware-counter
@@ -182,6 +188,9 @@ class Linter {
       CheckIncludeGuard(rel, code, raw);
     }
     bool rng_exempt = rel == "src/util/rng.h" || rel == "src/util/rng.cc";
+    bool clock_exempt = rel == "src/util/timer.h" ||
+                        rel == "src/util/trace.cc" ||
+                        rel == "src/util/perf_counters.cc";
     for (size_t i = 0; i < code.size(); ++i) {
       const std::string& line = code[i];
       const std::string& orig = i < raw.size() ? raw[i] : line;
@@ -208,6 +217,12 @@ class Linter {
         Report(rel, i + 1, "visit-counts-mut",
                "visit_counts is engine output; outside src/core/ read it or "
                "accumulate via a ShardedVisitCounter observer");
+      }
+      if (!clock_exempt && std::regex_search(line, raw_clock_) &&
+          !Suppressed(orig, "raw-clock")) {
+        Report(rel, i + 1, "raw-clock",
+               "raw clock reads fragment the timing story; use fm::Timer "
+               "(src/util/timer.h) or fm::TraceNowNs (src/util/trace.h)");
       }
       if (rel != "src/util/perf_counters.cc" &&
           std::regex_search(line, perf_syscall_) &&
@@ -277,6 +292,10 @@ class Linter {
       R"((\+\+|--)[^;=]*(\.|->)\s*visit_counts)"
       R"(|(\.|->)\s*visit_counts\s*\.\s*(assign|resize|clear|push_back|emplace_back|swap)\s*\()"
       R"(|(\.|->)\s*visit_counts\s*(\[[^\]]*\]\s*)?(=[^=]|\+=|-=|\+\+|--))"};
+  // Any direct monotonic/wall clock read outside the sanctioned sites.
+  std::regex raw_clock_{
+      R"((steady_clock|system_clock|high_resolution_clock)\s*::\s*now)"
+      R"(|(^|[^A-Za-z0-9_])(clock_gettime|gettimeofday)\s*\()"};
   // Raw syscall, syscall number, or attr struct; PerfEventOpenFn (the test
   // shim typedef) deliberately does not match.
   std::regex perf_syscall_{

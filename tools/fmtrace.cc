@@ -1,0 +1,274 @@
+// fmtrace — offline summary of a --trace-json capture.
+//
+// Usage:
+//   fmtrace [--top=N] trace.json
+//
+// Reads the Chrome trace-event JSON written by `fmwalk --trace-json` (or the
+// fig benchmarks) and prints:
+//   - per-category totals (span count, total/mean/max duration),
+//   - per-thread totals (events, busy time) with thread names,
+//   - the engine stage-skew table: "engine.vp" sample chunks grouped by their
+//     "step" arg, with max/mean duration per step (skew = max/mean — the Fig 10
+//     load-balance view, from a trace instead of a re-run),
+//   - the top-N longest spans (default 10),
+//   - the exporter's otherData accounting (exported/dropped events, threads).
+//
+// The same file loads in ui.perfetto.dev for the zoomable timeline; fmtrace is
+// the grep-able terminal view.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace {
+
+using fm::json::ParseJson;
+using fm::json::Value;
+
+struct Span {
+  std::string category;
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+  int64_t tid = 0;
+  std::map<std::string, double> args;
+};
+
+struct Accum {
+  uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+  void Add(double dur_us) {
+    ++count;
+    total_us += dur_us;
+    max_us = std::max(max_us, dur_us);
+  }
+  double MeanUs() const {
+    return count == 0 ? 0 : total_us / static_cast<double>(count);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr, "usage: fmtrace [--top=N] trace.json\n");
+  return 2;
+}
+
+std::string Fmt(double us) {
+  char buf[32];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int top_n = 10;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--top=", 6) == 0) {
+      top_n = std::atoi(a + 6);
+    } else if (a[0] == '-' && a[1] != '\0') {
+      return Usage();
+    } else {
+      if (!path.empty()) {
+        return Usage();
+      }
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    return Usage();
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  Value doc;
+  try {
+    doc = ParseJson(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  // Accept both the full document and a bare traceEvents array.
+  const Value* events = nullptr;
+  if (doc.type == Value::Type::kArray) {
+    events = &doc;
+  } else if (doc.Has("traceEvents") &&
+             doc.At("traceEvents").type == Value::Type::kArray) {
+    events = &doc.At("traceEvents");
+  } else {
+    std::fprintf(stderr, "error: %s: no traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<Span> spans;
+  std::map<int64_t, std::string> thread_names;
+  for (const Value& e : events->array) {
+    if (e.type != Value::Type::kObject || !e.Has("ph")) {
+      continue;
+    }
+    const std::string& ph = e.Str("ph");
+    int64_t tid = e.Has("tid") ? static_cast<int64_t>(e.Num("tid")) : 0;
+    if (ph == "M") {
+      if (e.Has("name") && e.Str("name") == "thread_name" && e.Has("args")) {
+        thread_names[tid] = e.At("args").Str("name");
+      }
+      continue;
+    }
+    if (ph != "X") {
+      continue;
+    }
+    Span s;
+    s.category = e.Has("cat") ? e.Str("cat") : "";
+    s.name = e.Has("name") ? e.Str("name") : "";
+    s.ts_us = e.Has("ts") ? e.Num("ts") : 0;
+    s.dur_us = e.Has("dur") ? e.Num("dur") : 0;
+    s.tid = tid;
+    if (e.Has("args")) {
+      for (const auto& [key, val] : e.At("args").object) {
+        if (val.type == Value::Type::kNumber) {
+          s.args[key] = val.number;
+        }
+      }
+    }
+    spans.push_back(std::move(s));
+  }
+
+  if (spans.empty()) {
+    std::fprintf(stderr, "%s: no complete (\"ph\":\"X\") spans\n", path.c_str());
+    return 1;
+  }
+
+  // ---- per-category ---------------------------------------------------------
+  std::map<std::string, Accum> by_category;
+  std::map<std::string, Accum> by_cat_name;
+  std::map<int64_t, Accum> by_thread;
+  for (const Span& s : spans) {
+    by_category[s.category].Add(s.dur_us);
+    by_cat_name[s.category + "/" + s.name].Add(s.dur_us);
+    by_thread[s.tid].Add(s.dur_us);
+  }
+
+  std::printf("%s: %zu spans, %zu threads\n\n", path.c_str(), spans.size(),
+              by_thread.size());
+
+  std::printf("per category:\n");
+  std::printf("  %-28s %8s %12s %12s %12s\n", "category/name", "count",
+              "total", "mean", "max");
+  for (const auto& [cat, acc] : by_category) {
+    std::printf("  %-28s %8" PRIu64 " %12s %12s %12s\n", cat.c_str(),
+                acc.count, Fmt(acc.total_us).c_str(), Fmt(acc.MeanUs()).c_str(),
+                Fmt(acc.max_us).c_str());
+    for (const auto& [key, sub] : by_cat_name) {
+      if (key.compare(0, cat.size() + 1, cat + "/") == 0) {
+        std::printf("    %-26s %8" PRIu64 " %12s %12s %12s\n",
+                    key.c_str() + cat.size() + 1, sub.count,
+                    Fmt(sub.total_us).c_str(), Fmt(sub.MeanUs()).c_str(),
+                    Fmt(sub.max_us).c_str());
+      }
+    }
+  }
+
+  // ---- per-thread -----------------------------------------------------------
+  std::printf("\nper thread:\n");
+  std::printf("  %-20s %8s %12s\n", "thread", "spans", "busy");
+  for (const auto& [tid, acc] : by_thread) {
+    auto it = thread_names.find(tid);
+    std::string name = it != thread_names.end()
+                           ? it->second
+                           : "tid-" + std::to_string(tid);
+    std::printf("  %-20s %8" PRIu64 " %12s\n", name.c_str(), acc.count,
+                Fmt(acc.total_us).c_str());
+  }
+
+  // ---- stage skew: engine.vp sample chunks grouped by step ------------------
+  std::map<int64_t, Accum> by_step;
+  for (const Span& s : spans) {
+    if (s.category != "engine.vp") {
+      continue;
+    }
+    auto it = s.args.find("step");
+    if (it != s.args.end()) {
+      by_step[static_cast<int64_t>(it->second)].Add(s.dur_us);
+    }
+  }
+  if (!by_step.empty()) {
+    std::printf("\nstage skew (engine.vp sample chunks per step; "
+                "skew = max/mean):\n");
+    std::printf("  %6s %8s %12s %12s %8s\n", "step", "chunks", "mean", "max",
+                "skew");
+    for (const auto& [step, acc] : by_step) {
+      double mean = acc.MeanUs();
+      std::printf("  %6" PRId64 " %8" PRIu64 " %12s %12s %7.2fx\n", step,
+                  acc.count, Fmt(mean).c_str(), Fmt(acc.max_us).c_str(),
+                  mean > 0 ? acc.max_us / mean : 0.0);
+    }
+  }
+
+  // ---- top-N longest spans --------------------------------------------------
+  if (top_n > 0) {
+    std::vector<const Span*> longest;
+    longest.reserve(spans.size());
+    for (const Span& s : spans) {
+      longest.push_back(&s);
+    }
+    size_t n = std::min<size_t>(static_cast<size_t>(top_n), longest.size());
+    std::partial_sort(longest.begin(), longest.begin() + n, longest.end(),
+                      [](const Span* a, const Span* b) {
+                        return a->dur_us > b->dur_us;
+                      });
+    std::printf("\ntop %zu longest spans:\n", n);
+    std::printf("  %12s  %-28s %6s  %s\n", "dur", "category/name", "tid",
+                "args");
+    for (size_t i = 0; i < n; ++i) {
+      const Span& s = *longest[i];
+      std::string args;
+      for (const auto& [key, val] : s.args) {
+        if (!args.empty()) {
+          args += ' ';
+        }
+        args += key + "=" + std::to_string(static_cast<int64_t>(val));
+      }
+      std::printf("  %12s  %-28s %6" PRId64 "  %s\n", Fmt(s.dur_us).c_str(),
+                  (s.category + "/" + s.name).c_str(), s.tid, args.c_str());
+    }
+  }
+
+  // ---- exporter accounting --------------------------------------------------
+  if (doc.type == Value::Type::kObject && doc.Has("otherData")) {
+    const Value& other = doc.At("otherData");
+    std::printf("\nexporter: %" PRId64 " events exported, %" PRId64
+                " dropped (ring overflow), %" PRId64 " threads\n",
+                other.Has("exported_events")
+                    ? static_cast<int64_t>(other.Num("exported_events"))
+                    : -1,
+                other.Has("dropped_events")
+                    ? static_cast<int64_t>(other.Num("dropped_events"))
+                    : -1,
+                other.Has("threads")
+                    ? static_cast<int64_t>(other.Num("threads"))
+                    : -1);
+  }
+  return 0;
+}

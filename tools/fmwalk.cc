@@ -27,6 +27,15 @@
 //                     metadata, per-stage hardware counters (perf_event_open;
 //                     "backend": "noop" where unavailable), derived rates, and
 //                     one entry per (episode, step)
+//   --trace-json=F    record structured spans (graph load, plan solve, per-step
+//                     scatter/sample/gather, per-VP sample chunks, shuffle
+//                     chunks, observer merges) and write Chrome trace-event /
+//                     Perfetto JSON to F — open it in ui.perfetto.dev or feed
+//                     it to `fmtrace`
+//   --progress[=SEC]  live heartbeat to stderr every SEC seconds (default 10):
+//                     episode/step position, live walkers, steps/sec, ETA, and
+//                     the dropped-span count; driven from the engine's per-step
+//                     barrier (no extra thread)
 //   --threads=N       worker threads (default: all cores; or FM_THREADS)
 #include <algorithm>
 #include <cstdio>
@@ -57,6 +66,9 @@ struct Args {
   std::string out_path;
   std::string pairs_path;
   std::string metrics_path;
+  std::string trace_path;
+  bool progress = false;
+  double progress_interval_s = 10.0;
   bool stats = false;
   bool profile = false;
 };
@@ -77,7 +89,8 @@ int Usage(const char* self) {
                "  [--steps=N] [--rounds=N] [--walkers=N] [--p=F] [--q=F] "
                "[--weighted] [--stop=F]\n"
                "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
-               "[--profile] [--metrics-json=metrics.json]\n",
+               "[--profile] [--metrics-json=metrics.json]\n"
+               "  [--trace-json=trace.json] [--progress[=SECONDS]]\n",
                self);
   return 2;
 }
@@ -121,6 +134,13 @@ int main(int argc, char** argv) {
       args.pairs_path = value;
     } else if (ParseFlag(a, "--metrics-json", &value)) {
       args.metrics_path = value;
+    } else if (ParseFlag(a, "--trace-json", &value)) {
+      args.trace_path = value;
+    } else if (std::strcmp(a, "--progress") == 0) {
+      args.progress = true;
+    } else if (ParseFlag(a, "--progress", &value)) {
+      args.progress = true;
+      args.progress_interval_s = std::stod(value);
     } else if (std::strcmp(a, "--stats") == 0) {
       args.stats = true;
     } else if (std::strcmp(a, "--profile") == 0) {
@@ -140,6 +160,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Tracing starts before the load so graph I/O, degree sort, and the plan
+    // solve all land in the trace alongside the walk itself.
+    if (!args.trace_path.empty()) {
+      Tracer::SetThisThreadName("main");
+      Tracer::Get().Enable();
+    }
+
     // ---- load -----------------------------------------------------------------
     Timer load_timer;
     CsrGraph raw;
@@ -185,8 +212,27 @@ int main(int argc, char** argv) {
     EngineOptions engine_options;
     engine_options.record_step_stats = args.profile || !args.metrics_path.empty();
     engine_options.collect_counters = !args.metrics_path.empty();
+    ProgressReporter progress(args.progress_interval_s);
+    if (args.progress) {
+      engine_options.progress = &progress;
+    }
     FlashMobEngine engine(sorted.graph, engine_options);
     WalkResult result = engine.Run(spec);
+    if (!args.trace_path.empty()) {
+      Tracer& tracer = Tracer::Get();
+      tracer.Disable();
+      if (!tracer.WriteJson(args.trace_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.trace_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "wrote %llu spans (%llu dropped) to %s — open in "
+                   "ui.perfetto.dev or run: fmtrace %s\n",
+                   static_cast<unsigned long long>(tracer.TotalEvents()),
+                   static_cast<unsigned long long>(tracer.TotalDropped()),
+                   args.trace_path.c_str(), args.trace_path.c_str());
+    }
     std::fprintf(stderr,
                  "walked %llu steps in %.2fs: %.1f ns/step "
                  "(sample %.2fs, shuffle %.2fs, other %.2fs, %u episodes)\n",
