@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "src/core/engine.h"
 #include "src/core/walk_observer.h"
 #include "src/graph/degree_sort.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace fm {
@@ -74,6 +74,11 @@ class PairMeetingObserver : public WalkObserver {
   }
 
   void OnRunEnd() override {
+    // The engine's final barrier means no OnWalkerChunk writer is live here,
+    // but take the lock anyway: the replay is O(boundary) and uncontended, and
+    // it keeps every boundary_ access provably under mu_ (thread-safety
+    // analysis flagged this replay as the one unlocked access).
+    MutexLock lock(mu_);
     std::sort(boundary_.begin(), boundary_.end(), [](const Half& x, const Half& y) {
       return x.row != y.row ? x.row < y.row : x.walker < y.walker;
     });
@@ -118,7 +123,7 @@ class PairMeetingObserver : public WalkObserver {
   }
 
   void BufferHalf(uint32_t row, Wid walker, Vid pos) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     boundary_.push_back({row, walker, pos});
   }
 
@@ -144,8 +149,9 @@ class PairMeetingObserver : public WalkObserver {
   Wid base_walker_ = 0;
   std::vector<uint8_t> state_;
   std::vector<uint32_t> met_row_;
-  std::mutex mu_;
-  std::vector<Half> boundary_;
+  // mu_ protects the boundary-straddling pair halves buffered by any worker.
+  Mutex mu_;
+  std::vector<Half> boundary_ FM_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -6,13 +6,15 @@
 #include <mutex>
 
 #include "src/util/env.h"
+#include "src/util/sync.h"
 
 namespace fm {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::once_flag g_init_once;
-std::mutex g_log_mutex;
+// Serializes sink writes so concurrent log lines never interleave.
+Mutex g_log_mutex;
 
 char LevelChar(LogLevel level) {
   switch (level) {
@@ -52,7 +54,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   if (level < GetLogLevel()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[fm %c] %s\n", LevelChar(level), message.c_str());
 }
 

@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(uint32_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& t : workers_) {
     t.join();
   }
@@ -49,34 +49,41 @@ void ThreadPool::WorkerLoop(uint32_t worker_index) {
   tids_registered_.fetch_add(1, std::memory_order_release);
   uint64_t seen_epoch = 0;
   while (true) {
+    // Snapshot the job under the lock; the job body itself runs without it.
+    const std::function<void(uint64_t, uint32_t)>* job = nullptr;
+    uint64_t tasks = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock,
-                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && job_epoch_ == seen_epoch) {
+        wake_cv_.Wait(mutex_);
+      }
       if (shutdown_) {
         return;
       }
       seen_epoch = job_epoch_;
+      job = job_;
+      tasks = job_tasks_;
     }
-    RunCurrentJob(worker_index);
+    RunJob(*job, tasks, worker_index);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--workers_running_ == 0) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
 }
 
-void ThreadPool::RunCurrentJob(uint32_t worker_index) {
-  const auto* job = job_;
-  uint64_t tasks = job_tasks_;
+void ThreadPool::RunJob(const std::function<void(uint64_t, uint32_t)>& job,
+                        uint64_t tasks, uint32_t worker_index) {
   while (true) {
+    // relaxed: pure fetch-add task dispenser; the claimed index carries no
+    // payload, and completion ordering is provided by the done_cv_ handshake.
     uint64_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (t >= tasks) {
       return;
     }
-    (*job)(t, worker_index);
+    job(t, worker_index);
   }
 }
 
@@ -92,19 +99,23 @@ void ThreadPool::ParallelFor(uint64_t tasks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FM_CHECK_MSG(job_ == nullptr, "ParallelFor is not reentrant");
     job_ = &body;
     job_tasks_ = tasks;
+    // relaxed: reset is published to workers by the epoch bump below, whose
+    // mutex release/acquire pair orders it before any worker's fetch_add.
     next_task_.store(0, std::memory_order_relaxed);
     workers_running_ = static_cast<uint32_t>(workers_.size());
     ++job_epoch_;
   }
-  wake_cv_.notify_all();
-  RunCurrentJob(0);
+  wake_cv_.NotifyAll();
+  RunJob(body, tasks, 0);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+    MutexLock lock(mutex_);
+    while (workers_running_ != 0) {
+      done_cv_.Wait(mutex_);
+    }
     job_ = nullptr;
   }
 }

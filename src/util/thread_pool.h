@@ -8,12 +8,12 @@
 #define SRC_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace fm {
 
@@ -52,23 +52,32 @@ class ThreadPool {
 
  private:
   void WorkerLoop(uint32_t worker_index);
-  void RunCurrentJob(uint32_t worker_index);
+  // Pulls tasks off next_task_ until the job is drained. The job pointer and
+  // task count are snapshots taken under mutex_ by the caller, so this runs
+  // entirely lock-free.
+  void RunJob(const std::function<void(uint64_t, uint32_t)>& job,
+              uint64_t tasks, uint32_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::vector<int32_t> worker_tids_;            // slot i-1 for worker i
+  // Slot i-1 for worker i. Single-writer protocol, not mutex-guarded: each
+  // worker writes only its own slot before the tids_registered_ release
+  // increment, and WorkerSystemTids reads only after the matching acquire.
+  std::vector<int32_t> worker_tids_;
   std::atomic<uint32_t> tids_registered_{0};
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
 
-  // Current job state (guarded by mutex_ for the control fields; next_task_ is the
-  // hot path and is atomic).
-  const std::function<void(uint64_t, uint32_t)>* job_ = nullptr;
-  uint64_t job_tasks_ = 0;
-  uint64_t job_epoch_ = 0;
+  // mutex_ protects the job handshake: publication of a new job (epoch bump),
+  // the workers-running completion count, and shutdown.
+  Mutex mutex_;
+  CondVar wake_cv_;
+  CondVar done_cv_;
+  const std::function<void(uint64_t, uint32_t)>* job_ FM_GUARDED_BY(mutex_) =
+      nullptr;
+  uint64_t job_tasks_ FM_GUARDED_BY(mutex_) = 0;
+  uint64_t job_epoch_ FM_GUARDED_BY(mutex_) = 0;
+  uint32_t workers_running_ FM_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ FM_GUARDED_BY(mutex_) = false;
+  // Hot-path task cursor; deliberately outside the mutex.
   std::atomic<uint64_t> next_task_{0};
-  uint32_t workers_running_ = 0;
-  bool shutdown_ = false;
 };
 
 }  // namespace fm

@@ -51,17 +51,22 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::Enable(size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = std::max<size_t>(events_per_thread, 1);
+  // relaxed: enabling mid-span is inherently approximate; ring registration
+  // synchronizes through mutex_ when a thread first records.
   enabled_flag_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::Disable() {
+  // relaxed: in-flight spans may still complete their push; see enabled().
   enabled_flag_.store(false, std::memory_order_relaxed);
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+  // relaxed: Reset requires no live spans by contract; the epoch bump below
+  // (release) is what invalidates cached ring pointers.
   enabled_flag_.store(false, std::memory_order_relaxed);
   buffers_.clear();
   capacity_ = kDefaultCapacity;
@@ -77,7 +82,7 @@ TraceRingBuffer* Tracer::CurrentBuffer() {
   if (t_slot.epoch == epoch) {
     return t_slot.buf;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint32_t tid = static_cast<uint32_t>(buffers_.size());
   std::string name = t_pending_name.empty()
                          ? "thread-" + std::to_string(tid)
@@ -94,13 +99,13 @@ void Tracer::SetThisThreadName(const std::string& name) {
   Tracer& tracer = Get();
   uint64_t epoch = tracer.epoch_.load(std::memory_order_acquire);
   if (t_slot.epoch == epoch && t_slot.buf != nullptr) {
-    std::lock_guard<std::mutex> lock(tracer.mutex_);
+    MutexLock lock(tracer.mutex_);
     t_slot.buf->set_thread_name(name);
   }
 }
 
 uint64_t Tracer::TotalEvents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& buf : buffers_) {
     total += buf->pushed();
@@ -109,7 +114,7 @@ uint64_t Tracer::TotalEvents() const {
 }
 
 uint64_t Tracer::TotalDropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& buf : buffers_) {
     total += buf->dropped();
@@ -118,7 +123,7 @@ uint64_t Tracer::TotalDropped() const {
 }
 
 std::string Tracer::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Rebase timestamps so the trace starts at ts=0 (Perfetto renders absolute
   // steady-clock epochs far off-screen otherwise).
   uint64_t base_ns = UINT64_MAX;

@@ -27,9 +27,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace fm {
 
@@ -54,12 +55,16 @@ class TraceRingBuffer {
   TraceRingBuffer(uint32_t tid, std::string thread_name, size_t capacity);
 
   void Push(const TraceEvent& event) {
+    // relaxed: head_ is single-writer (the owning thread); concurrent readers
+    // only consume the counter value, and event payloads are read post-quiesce.
     uint64_t h = head_.load(std::memory_order_relaxed);
     events_[h % events_.size()] = event;
+    // relaxed: see above — the export path runs after writers quiesce.
     head_.store(h + 1, std::memory_order_relaxed);
   }
 
   // Total events ever pushed / dropped (ring overwrote them before export).
+  // relaxed: live heartbeat reads tolerate a stale count.
   uint64_t pushed() const { return head_.load(std::memory_order_relaxed); }
   uint64_t dropped() const {
     uint64_t h = pushed();
@@ -74,6 +79,7 @@ class TraceRingBuffer {
   // thread is not concurrently pushing (post-run export contract).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    // relaxed: export-only path; the owning thread has quiesced by contract.
     uint64_t h = head_.load(std::memory_order_relaxed);
     uint64_t begin = h > events_.size() ? h - events_.size() : 0;
     for (uint64_t i = begin; i < h; ++i) {
@@ -107,6 +113,8 @@ class Tracer {
   void Reset();
 
   static bool enabled() {
+    // relaxed: a stale read only delays span capture by one event; ring
+    // registration (the racy part) re-checks under the registry mutex.
     return enabled_flag_.load(std::memory_order_relaxed);
   }
 
@@ -132,16 +140,19 @@ class Tracer {
  private:
   Tracer() = default;
 
-  // Surviving (exportable) event count; caller holds mutex_.
-  uint64_t TotalEventsLocked() const;
+  // Surviving (exportable) event count.
+  uint64_t TotalEventsLocked() const FM_REQUIRES(mutex_);
 
   friend class TraceSpan;
 
   static std::atomic<bool> enabled_flag_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceRingBuffer>> buffers_;
-  size_t capacity_ = kDefaultCapacity;
+  // mutex_ protects the ring registry: the buffer list, the capacity applied
+  // to newly registered rings, and retroactive thread renames. Ring *contents*
+  // are single-writer and not guarded (see TraceRingBuffer).
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<TraceRingBuffer>> buffers_ FM_GUARDED_BY(mutex_);
+  size_t capacity_ FM_GUARDED_BY(mutex_) = kDefaultCapacity;
   // Bumped by Reset so threads drop their cached ring pointer.
   std::atomic<uint64_t> epoch_{1};
 };

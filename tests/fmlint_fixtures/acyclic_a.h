@@ -1,0 +1,4 @@
+#ifndef SRC_ACYCLIC_A_H_
+#define SRC_ACYCLIC_A_H_
+#include "src/acyclic_b.h"
+#endif  // SRC_ACYCLIC_A_H_

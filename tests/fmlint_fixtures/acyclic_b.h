@@ -1,0 +1,4 @@
+#ifndef SRC_ACYCLIC_B_H_
+#define SRC_ACYCLIC_B_H_
+int f();
+#endif  // SRC_ACYCLIC_B_H_

@@ -1,0 +1,5 @@
+#include <random>
+int bad() {
+  std::mt19937 gen(42);
+  return rand() % 7;
+}

@@ -1,0 +1,2 @@
+#include "src/util/rng.h"
+uint64_t good(fm::XorShiftRng& rng) { return rng.Next(); }

@@ -1,0 +1,4 @@
+#ifndef SRC_CYCLE_A_H_
+#define SRC_CYCLE_A_H_
+#include "src/cycle_b.h"
+#endif  // SRC_CYCLE_A_H_

@@ -1,0 +1,4 @@
+#ifndef SRC_CYCLE_B_H_
+#define SRC_CYCLE_B_H_
+#include "src/cycle_a.h"
+#endif  // SRC_CYCLE_B_H_

@@ -1,0 +1,4 @@
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+int f();
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,4 @@
+#ifndef SRC_FIXTURE_GOOD_H_
+#define SRC_FIXTURE_GOOD_H_
+int f();
+#endif  // SRC_FIXTURE_GOOD_H_

@@ -1,0 +1,6 @@
+#include "src/util/sync.h"
+fm::Mutex mu;
+void bad() {
+  mu.Lock();
+  mu.Unlock();
+}

@@ -1,0 +1,3 @@
+#include "src/util/sync.h"
+fm::Mutex mu;
+void good() { fm::MutexLock lock(mu); }

@@ -1,0 +1,1 @@
+int* bad() { return new int(3); }

@@ -1,0 +1,2 @@
+#include <memory>
+std::unique_ptr<int> good() { return std::make_unique<int>(3); }

@@ -1,0 +1,5 @@
+#include <sys/syscall.h>
+#include <unistd.h>
+long bad(struct perf_event_attr* attr) {
+  return syscall(__NR_perf_event_open, attr, 0, -1, -1, 0);
+}

@@ -1,0 +1,2 @@
+#include "src/util/perf_counters.h"
+int good();

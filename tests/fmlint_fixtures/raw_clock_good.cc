@@ -1,0 +1,2 @@
+#include "src/util/trace.h"
+unsigned long good() { return fm::TraceNowNs(); }

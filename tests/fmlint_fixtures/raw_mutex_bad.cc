@@ -1,0 +1,7 @@
+#include <condition_variable>
+#include <mutex>
+std::mutex mu;
+std::condition_variable cv;
+void bad() {
+  std::lock_guard<std::mutex> lock(mu);
+}

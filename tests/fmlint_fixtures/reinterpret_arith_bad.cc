@@ -1,0 +1,4 @@
+#include <cstdint>
+uint32_t bad(const char* base, long off) {
+  return *reinterpret_cast<const uint32_t*>(base + off);
+}

@@ -1,0 +1,7 @@
+#include <cstdint>
+#include <cstring>
+uint32_t good(const char* base, long off) {
+  uint32_t v;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}

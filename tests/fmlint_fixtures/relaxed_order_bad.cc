@@ -1,0 +1,3 @@
+#include <atomic>
+std::atomic<int> x;
+int bad() { return x.load(std::memory_order_relaxed); }

@@ -1,0 +1,9 @@
+#include <atomic>
+std::atomic<int> x;
+// relaxed: single-writer counter; readers tolerate staleness.
+int good_above() { return x.load(std::memory_order_relaxed); }
+int good_same() { return x.load(std::memory_order_relaxed); }  // relaxed: see above
+// A wrapped justification, ending lines away from the load itself:
+// relaxed: the join handshake provides the ordering edge and the count
+// is only read after it.
+int good_block() { return x.load(std::memory_order_relaxed); }

@@ -1,0 +1,2 @@
+#include <mutex>
+std::mutex mu;  // fmlint:allow(raw-mutex) fixture: legacy site pending migration

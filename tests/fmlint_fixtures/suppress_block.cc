@@ -1,0 +1,5 @@
+// fmlint:disable(raw-mutex) fixture: this block is intentionally legacy
+#include <mutex>
+std::mutex mu_a;
+std::mutex mu_b;
+// fmlint:enable(raw-mutex)

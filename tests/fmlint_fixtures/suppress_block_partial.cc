@@ -1,0 +1,5 @@
+// fmlint:disable(raw-mutex)
+#include <mutex>
+std::mutex covered;
+// fmlint:enable(raw-mutex)
+std::mutex uncovered;

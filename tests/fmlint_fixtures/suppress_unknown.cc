@@ -1,0 +1,1 @@
+int clean();  // fmlint:allow(no-such-rule)

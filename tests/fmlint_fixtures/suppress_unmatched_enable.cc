@@ -1,0 +1,2 @@
+// fmlint:enable(raw-mutex)
+int clean();

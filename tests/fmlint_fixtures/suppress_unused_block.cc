@@ -1,0 +1,2 @@
+// fmlint:disable(raw-mutex)
+int clean();

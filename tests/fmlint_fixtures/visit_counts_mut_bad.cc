@@ -1,0 +1,2 @@
+struct R { unsigned long* visit_counts; };
+void bad(R& r) { r.visit_counts[0] += 1; }

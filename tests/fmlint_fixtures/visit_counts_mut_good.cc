@@ -1,0 +1,2 @@
+struct R { unsigned long* visit_counts; };
+unsigned long good(const R& r) { return r.visit_counts[0]; }

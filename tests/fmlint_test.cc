@@ -1,0 +1,248 @@
+// Self-tests for the fmlint v2 rule engine: every rule is driven over the
+// intentionally-violating fixtures in tests/fmlint_fixtures/ through the
+// exact production path (Engine::Lint), and the suppression machinery
+// (allow / disable-enable blocks, unused- and bad-suppression errors) is
+// exercised end to end. The fixture directory itself is excluded from
+// Engine::LintTree, so these snippets never pollute the repo lint gate.
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/json.h"
+#include "tools/fmlint/lint.h"
+#include "tools/fmlint/rules.h"
+
+namespace {
+
+using fmlint::BuildDefaultRules;
+using fmlint::Diagnostic;
+using fmlint::Engine;
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(FMLINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Lints one fixture under a pretend repo-relative path (so path-derived
+// checks like include-guard and per-file exemptions behave as in the tree).
+std::vector<Diagnostic> LintOne(const std::string& pretend_path,
+                                const std::string& fixture) {
+  Engine engine(BuildDefaultRules());
+  return engine.Lint({{pretend_path, ReadFixture(fixture)}});
+}
+
+// (rule, line) pairs, for exact-match assertions against a whole run.
+std::multiset<std::pair<std::string, size_t>> RuleLines(
+    const std::vector<Diagnostic>& diags) {
+  std::multiset<std::pair<std::string, size_t>> out;
+  for (const Diagnostic& d : diags) {
+    out.insert({d.rule, d.line});
+  }
+  return out;
+}
+
+using Expected = std::multiset<std::pair<std::string, size_t>>;
+
+TEST(FmlintRules, CatalogHasElevenUniquelyNamedRules) {
+  auto rules = BuildDefaultRules();
+  ASSERT_EQ(rules.size(), 11u);
+  std::set<std::string> names;
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule->description().empty()) << rule->name();
+    names.insert(std::string(rule->name()));
+  }
+  EXPECT_EQ(names.size(), 11u) << "duplicate rule names";
+  const char* expected[] = {"include-guard",  "banned-rng",    "naked-new",
+                            "reinterpret-arith", "visit-counts-mut",
+                            "raw-clock",      "perf-syscall",  "raw-mutex",
+                            "relaxed-order",  "manual-lock",   "include-cycle"};
+  for (const char* name : expected) {
+    EXPECT_EQ(names.count(name), 1u) << "missing rule: " << name;
+  }
+}
+
+TEST(FmlintRules, IncludeGuard) {
+  EXPECT_EQ(RuleLines(LintOne("src/fixture_bad.h", "include_guard_bad.h")),
+            (Expected{{"include-guard", 1}}));
+  EXPECT_TRUE(LintOne("src/fixture_good.h", "include_guard_good.h").empty());
+}
+
+TEST(FmlintRules, BannedRng) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "banned_rng_bad.cc")),
+            (Expected{{"banned-rng", 3}, {"banned-rng", 4}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "banned_rng_good.cc").empty());
+}
+
+TEST(FmlintRules, NakedNew) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "naked_new_bad.cc")),
+            (Expected{{"naked-new", 1}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "naked_new_good.cc").empty());
+}
+
+TEST(FmlintRules, ReinterpretArith) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "reinterpret_arith_bad.cc")),
+            (Expected{{"reinterpret-arith", 3}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "reinterpret_arith_good.cc").empty());
+}
+
+TEST(FmlintRules, VisitCountsMut) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "visit_counts_mut_bad.cc")),
+            (Expected{{"visit-counts-mut", 2}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "visit_counts_mut_good.cc").empty());
+  // The rule is scoped: the same mutation inside src/core/ is allowed.
+  Engine engine(BuildDefaultRules());
+  EXPECT_TRUE(engine
+                  .Lint({{"src/core/fx.cc",
+                          ReadFixture("visit_counts_mut_bad.cc")}})
+                  .empty());
+}
+
+TEST(FmlintRules, RawClock) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "raw_clock_bad.cc")),
+            (Expected{{"raw-clock", 3}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "raw_clock_good.cc").empty());
+}
+
+TEST(FmlintRules, PerfSyscall) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "perf_syscall_bad.cc")),
+            (Expected{{"perf-syscall", 3}, {"perf-syscall", 4}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "perf_syscall_good.cc").empty());
+}
+
+TEST(FmlintRules, RawMutex) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "raw_mutex_bad.cc")),
+            (Expected{{"raw-mutex", 3}, {"raw-mutex", 4}, {"raw-mutex", 6}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "raw_mutex_good.cc").empty());
+  // sync.h itself is the one place std primitives may live. (Other rules —
+  // include-guard on the guardless snippet — still apply under that path.)
+  Engine engine(BuildDefaultRules());
+  for (const Diagnostic& d :
+       engine.Lint({{"src/util/sync.h", ReadFixture("raw_mutex_bad.cc")}})) {
+    EXPECT_NE(d.rule, "raw-mutex") << d.line;
+  }
+}
+
+TEST(FmlintRules, RelaxedOrder) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "relaxed_order_bad.cc")),
+            (Expected{{"relaxed-order", 3}}));
+  // Same-line tag, tag one line above, and a wrapped multi-line comment
+  // block are all accepted justification placements.
+  EXPECT_TRUE(LintOne("tests/fx.cc", "relaxed_order_good.cc").empty());
+}
+
+TEST(FmlintRules, ManualLock) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "manual_lock_bad.cc")),
+            (Expected{{"manual-lock", 4}, {"manual-lock", 5}}));
+  EXPECT_TRUE(LintOne("tests/fx.cc", "manual_lock_good.cc").empty());
+}
+
+TEST(FmlintRules, IncludeCycleFiresOncePerCycle) {
+  Engine engine(BuildDefaultRules());
+  auto diags = engine.Lint({{"src/cycle_a.h", ReadFixture("cycle_a.h")},
+                            {"src/cycle_b.h", ReadFixture("cycle_b.h")}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_NE(diags[0].message.find("src/cycle_a.h"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/cycle_b.h"), std::string::npos);
+}
+
+TEST(FmlintRules, IncludeCycleIgnoresAcyclicAndExternalEdges) {
+  Engine engine(BuildDefaultRules());
+  // acyclic_a.h also includes src/acyclic_b.h; b includes nothing. An edge
+  // into a file outside the linted set (cycle_a.h's target) must not count.
+  EXPECT_TRUE(
+      engine.Lint({{"src/acyclic_a.h", ReadFixture("acyclic_a.h")},
+                   {"src/acyclic_b.h", ReadFixture("acyclic_b.h")}})
+          .empty());
+}
+
+TEST(FmlintSuppression, AllowSuppressesSameLineOnly) {
+  EXPECT_TRUE(LintOne("tests/fx.cc", "suppress_allow.cc").empty());
+}
+
+TEST(FmlintSuppression, DisableEnableBlockSuppressesRange) {
+  EXPECT_TRUE(LintOne("tests/fx.cc", "suppress_block.cc").empty());
+}
+
+TEST(FmlintSuppression, ViolationAfterEnableStillFires) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "suppress_block_partial.cc")),
+            (Expected{{"raw-mutex", 5}}));
+}
+
+TEST(FmlintSuppression, UnusedAllowIsAnError) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "suppress_unused.cc")),
+            (Expected{{"unused-suppression", 1}}));
+}
+
+TEST(FmlintSuppression, UnusedDisableBlockIsAnError) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "suppress_unused_block.cc")),
+            (Expected{{"unused-suppression", 1}}));
+}
+
+TEST(FmlintSuppression, UnknownRuleNameIsAnError) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "suppress_unknown.cc")),
+            (Expected{{"bad-suppression", 1}}));
+}
+
+TEST(FmlintSuppression, UnmatchedEnableIsAnError) {
+  EXPECT_EQ(RuleLines(LintOne("tests/fx.cc", "suppress_unmatched_enable.cc")),
+            (Expected{{"bad-suppression", 1}}));
+}
+
+TEST(FmlintEngine, StripPreservesLineStructureAndBlanksLiterals) {
+  std::string stripped = fmlint::StripCommentsAndStrings(
+      "int a; // std::mutex in a comment\n"
+      "const char* s = \"std::mutex in a string\";\n"
+      "/* block\nspanning */ int b;\n");
+  auto lines = fmlint::SplitLines(stripped);
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("std::mutex"), std::string::npos) << line;
+  }
+  EXPECT_NE(lines[0].find("int a;"), std::string::npos);
+  EXPECT_EQ(lines[2].find("block"), std::string::npos);  // comment blanked
+  EXPECT_NE(lines[3].find("int b;"), std::string::npos);
+}
+
+TEST(FmlintEngine, JsonOutputParsesAndCarriesDiagnostics) {
+  Engine engine(BuildDefaultRules());
+  auto diags =
+      engine.Lint({{"tests/fx.cc", ReadFixture("raw_mutex_bad.cc")}});
+  ASSERT_EQ(diags.size(), 3u);
+  std::string json = fmlint::DiagnosticsToJson(diags, engine.files_linted());
+  fm::json::Value doc = fm::json::ParseJson(json);
+  EXPECT_EQ(doc.Str("schema"), "fmlint-v2");
+  EXPECT_EQ(doc.Num("files"), 1.0);
+  EXPECT_EQ(doc.Num("violations"), 3.0);
+  const auto& arr = doc.At("diagnostics").array;
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].Str("file"), "tests/fx.cc");
+  EXPECT_EQ(arr[0].Str("rule"), "raw-mutex");
+  EXPECT_EQ(arr[0].Num("line"), 3.0);
+  EXPECT_FALSE(arr[0].Str("message").empty());
+}
+
+TEST(FmlintEngine, DiagnosticsSortedByFileThenLine) {
+  Engine engine(BuildDefaultRules());
+  auto diags =
+      engine.Lint({{"tests/z.cc", ReadFixture("naked_new_bad.cc")},
+                   {"tests/a.cc", ReadFixture("raw_mutex_bad.cc")}});
+  ASSERT_EQ(diags.size(), 4u);
+  EXPECT_EQ(diags[0].file, "tests/a.cc");
+  EXPECT_EQ(diags[3].file, "tests/z.cc");
+  for (size_t i = 1; i < diags.size(); ++i) {
+    EXPECT_LE(std::make_pair(diags[i - 1].file, diags[i - 1].line),
+              std::make_pair(diags[i].file, diags[i].line));
+  }
+}
+
+}  // namespace

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -158,8 +157,8 @@ TEST(ThreadPoolEdgeTest, NestedUseOfDistinctPools) {
   outer.ParallelFor(4, [&](uint64_t, uint32_t) {
     // Only worker 0 (the caller) may submit to `inner`: submission from two
     // outer workers at once would race on inner's job slot by design.
-    static std::mutex submit_mutex;
-    std::lock_guard<std::mutex> lock(submit_mutex);
+    static Mutex submit_mutex;
+    MutexLock lock(submit_mutex);
     inner.ParallelFor(8, [&](uint64_t, uint32_t) { ++total; });
   });
   EXPECT_EQ(total.load(), 32u);

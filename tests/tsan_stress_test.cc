@@ -14,7 +14,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -73,6 +72,7 @@ TEST(TsanStressTest, ParallelForHammerAcrossThreadCounts) {
       uint64_t tasks = static_cast<uint64_t>(round % 7) * 13;  // includes 0
       expected_total += tasks;
       pool.ParallelFor(tasks, [&](uint64_t, uint32_t) {
+        // relaxed: pure event count; ParallelFor's join orders it before load.
         total.fetch_add(1, std::memory_order_relaxed);
       });
     }
@@ -133,6 +133,7 @@ TEST(TsanStressTest, IndependentPoolsRunConcurrently) {
   auto drive = [](ThreadPool& pool, std::atomic<uint64_t>& total) {
     for (int round = 0; round < 100; ++round) {
       pool.ParallelFor(32, [&](uint64_t, uint32_t) {
+        // relaxed: pure event count; ParallelFor's join orders it before load.
         total.fetch_add(1, std::memory_order_relaxed);
       });
     }
@@ -154,12 +155,13 @@ TEST(TsanStressTest, NestedDistinctPoolsUnderLoad) {
   // job at a time): reentrancy-adjacent edge the engine's per-VP stages sit on.
   ThreadPool outer(4);
   ThreadPool inner(2);
-  std::mutex submit_mutex;
+  Mutex submit_mutex;
   std::atomic<uint64_t> total{0};
   for (int round = 0; round < 20; ++round) {
     outer.ParallelFor(8, [&](uint64_t, uint32_t) {
-      std::lock_guard<std::mutex> lock(submit_mutex);
+      MutexLock lock(submit_mutex);
       inner.ParallelFor(16, [&](uint64_t, uint32_t) {
+        // relaxed: pure event count; ParallelFor's join orders it before load.
         total.fetch_add(1, std::memory_order_relaxed);
       });
     });

@@ -5,7 +5,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -22,7 +21,7 @@ class RecordingObserver : public WalkObserver {
  public:
   void OnPlacementChunk(Wid begin, std::span<const Vid> positions,
                         uint32_t worker) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     chunks_.push_back({begin, std::vector<Vid>(positions.begin(), positions.end()),
                        worker});
   }
@@ -34,7 +33,7 @@ class RecordingObserver : public WalkObserver {
   };
 
   std::vector<Chunk> sorted_chunks() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<Chunk> out = chunks_;
     std::sort(out.begin(), out.end(),
               [](const Chunk& a, const Chunk& b) { return a.begin < b.begin; });
@@ -42,8 +41,8 @@ class RecordingObserver : public WalkObserver {
   }
 
  private:
-  std::mutex mu_;
-  std::vector<Chunk> chunks_;
+  Mutex mu_;
+  std::vector<Chunk> chunks_ FM_GUARDED_BY(mu_);
 };
 
 TEST(WalkerStateTest, EpisodeCapacityMatchesPerWalkerBytes) {
