@@ -12,13 +12,15 @@
 #include "src/graph/csr_graph.h"
 #include "src/sampling/rejection.h"
 #include "src/sampling/vertex_alias.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace fm {
 
 template <typename Rng, typename Hook>
-Vid BaselineStepFirstOrder(const CsrGraph& graph, Vid v,
-                           const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+FM_HOT_PATH Vid BaselineStepFirstOrder(const CsrGraph& graph, Vid v,
+                                       const VertexAliasTables* alias,
+                                       Rng& rng, Hook& hook) {
   hook.Load(graph.offsets().data() + v, 2 * sizeof(Eid));
   Eid begin = graph.edge_begin(v);
   Degree deg = static_cast<Degree>(graph.edge_end(v) - begin);
@@ -33,8 +35,9 @@ Vid BaselineStepFirstOrder(const CsrGraph& graph, Vid v,
 }
 
 template <typename Rng, typename Hook>
-Vid BaselineStepNode2Vec(const CsrGraph& graph, Vid cur, Vid prev,
-                         const Node2VecParams& params, Rng& rng, Hook& hook) {
+FM_HOT_PATH Vid BaselineStepNode2Vec(const CsrGraph& graph, Vid cur, Vid prev,
+                                     const Node2VecParams& params, Rng& rng,
+                                     Hook& hook) {
   hook.Load(graph.offsets().data() + cur, 2 * sizeof(Eid));
   Eid begin = graph.edge_begin(cur);
   Degree deg = static_cast<Degree>(graph.edge_end(cur) - begin);
@@ -46,6 +49,8 @@ Vid BaselineStepNode2Vec(const CsrGraph& graph, Vid cur, Vid prev,
     hook.Load(graph.edges().data() + pick, sizeof(Vid));
     return graph.edges()[pick];
   }
+  // div: reciprocals of the runtime p/q parameters, hoisted out of the
+  // rejection loop.
   double bound = std::max({1.0, 1.0 / params.p, 1.0 / params.q});
   while (true) {
     Eid pick = begin + rng.NextBounded(deg);
@@ -53,10 +58,13 @@ Vid BaselineStepNode2Vec(const CsrGraph& graph, Vid cur, Vid prev,
     Vid candidate = graph.edges()[pick];
     double w;
     if (candidate == prev) {
+      // div: node2vec bias weights 1/p and 1/q; runtime parameters, cannot
+      // fold to shifts, and they hit only the rejection branch.
       w = 1.0 / params.p;
     } else if (HasEdgeHooked(graph, prev, candidate, hook)) {
       w = 1.0;
     } else {
+      // div: see the 1/p justification above.
       w = 1.0 / params.q;
     }
     if (rng.NextDouble() * bound < w) {

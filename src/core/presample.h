@@ -18,6 +18,7 @@
 #include "src/graph/csr_graph.h"
 #include "src/sampling/vertex_alias.h"
 #include "src/util/aligned_buffer.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace fm {
@@ -37,8 +38,9 @@ class PresampleBuffers {
   // consumers stay oblivious, which is the beauty of pre-sampling: any static
   // transition distribution costs the same at consumption).
   template <typename Rng, typename Hook>
-  Vid Next(const CsrGraph& graph, uint32_t vp_index, const VertexPartition& vp,
-           Vid v, const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+  FM_HOT_PATH Vid Next(const CsrGraph& graph, uint32_t vp_index,
+                       const VertexPartition& vp, Vid v,
+                       const VertexAliasTables* alias, Rng& rng, Hook& hook) {
     hook.Load(graph.offsets().data() + v, 2 * sizeof(Eid));
     Eid base = vp_sample_base_[vp_index] + (graph.edge_begin(v) - vp.edge_begin);
     Degree deg = static_cast<Degree>(graph.edge_end(v) - graph.edge_begin(v));
@@ -64,8 +66,9 @@ class PresampleBuffers {
 
  private:
   template <typename Rng, typename Hook>
-  void Refill(const CsrGraph& graph, Vid v, Eid base, Degree deg,
-              const VertexAliasTables* alias, Rng& rng, Hook& hook) {
+  FM_HOT_PATH void Refill(const CsrGraph& graph, Vid v, Eid base, Degree deg,
+                          const VertexAliasTables* alias, Rng& rng,
+                          Hook& hook) {
     // Production step: d(v) dice throws against v's adjacency list (random reads in
     // one cache-resident list) streamed into the buffer (§4.2). Weighted graphs
     // draw through the per-vertex alias table instead of uniformly.

@@ -16,6 +16,7 @@
 #include "src/graph/csr_graph.h"
 #include "src/sampling/rejection.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace fm {
@@ -23,12 +24,15 @@ namespace fm {
 // Hook-instrumented binary search: does `v`'s sorted adjacency list contain `u`?
 // (node2vec's connectivity check, §5.2.)
 template <typename Hook>
-bool HasEdgeHooked(const CsrGraph& graph, Vid v, Vid u, Hook& hook) {
+FM_HOT_PATH bool HasEdgeHooked(const CsrGraph& graph, Vid v, Vid u,
+                               Hook& hook) {
   hook.Load(graph.offsets().data() + v, 2 * sizeof(Eid));
   const Vid* edges = graph.edges().data();
   Eid lo = graph.edge_begin(v);
   Eid hi = graph.edge_end(v);
   while (lo < hi) {
+    // div: /2 on an unsigned range compiles to a shift; spelled as division
+    // for the standard binary-search midpoint idiom.
     Eid mid = lo + (hi - lo) / 2;
     hook.Load(edges + mid, sizeof(Vid));
     if (edges[mid] < u) {
@@ -46,7 +50,7 @@ bool HasEdgeHooked(const CsrGraph& graph, Vid v, Vid u, Hook& hook) {
 // `stop_probability` > 0 stochastically terminates walkers (they become
 // kInvalidVid).
 template <typename Rng, typename Hook>
-void SampleVpFirstOrder(const CsrGraph& graph, uint32_t vp_index,
+FM_HOT_PATH void SampleVpFirstOrder(const CsrGraph& graph, uint32_t vp_index,
                         const VertexPartition& vp, PresampleBuffers* presample,
                         Vid* walkers, Wid count, double stop_probability,
                         const VertexAliasTables* alias, Rng& rng, Hook& hook) {
@@ -102,8 +106,9 @@ void SampleVpFirstOrder(const CsrGraph& graph, uint32_t vp_index,
 // candidate's degree, which may live outside the VP — the same (milder) locality
 // leak node2vec's connectivity check has.
 template <typename Rng, typename Hook>
-void SampleVpMetropolis(const CsrGraph& graph, Vid* walkers, Wid count,
-                        double stop_probability, Rng& rng, Hook& hook) {
+FM_HOT_PATH void SampleVpMetropolis(const CsrGraph& graph, Vid* walkers,
+                                    Wid count, double stop_probability,
+                                    Rng& rng, Hook& hook) {
   const Vid* edges = graph.edges().data();
   const Eid* offsets = graph.offsets().data();
   for (Wid i = 0; i < count; ++i) {
@@ -141,12 +146,16 @@ void SampleVpMetropolis(const CsrGraph& graph, Vid* walkers, Wid count,
 // is overwritten with the pre-step location (identity-free mode); otherwise the
 // engine re-derives predecessors from the path rows.
 template <typename Rng, typename Hook>
-void SampleVpNode2Vec(const CsrGraph& graph, const VertexPartition& /*vp*/,
-                      const Node2VecParams& params, Vid* walkers, Vid* prevs,
-                      Wid count, double stop_probability, bool update_prevs,
-                      Rng& rng, Hook& hook) {
+FM_HOT_PATH void SampleVpNode2Vec(const CsrGraph& graph,
+                                  const VertexPartition& /*vp*/,
+                                  const Node2VecParams& params, Vid* walkers,
+                                  Vid* prevs, Wid count,
+                                  double stop_probability, bool update_prevs,
+                                  Rng& rng, Hook& hook) {
   const Vid* edges = graph.edges().data();
   const Eid* offsets = graph.offsets().data();
+  // div: the reciprocals of p and q are computed once per chunk, hoisted out
+  // of the per-walker loop.
   double bound = std::max({1.0, 1.0 / params.p, 1.0 / params.q});
   for (Wid i = 0; i < count; ++i) {
     hook.Load(walkers + i, sizeof(Vid));
@@ -174,10 +183,14 @@ void SampleVpNode2Vec(const CsrGraph& graph, const VertexPartition& /*vp*/,
         Vid candidate = edges[pick];
         double w;
         if (candidate == prev) {
+          // div: node2vec bias weights 1/p and 1/q; p and q are runtime
+          // parameters, so the quotients cannot fold to shifts. They hit only
+          // the rejection branch, not every edge read.
           w = 1.0 / params.p;
         } else if (HasEdgeHooked(graph, prev, candidate, hook)) {
           w = 1.0;
         } else {
+          // div: see the 1/p justification above.
           w = 1.0 / params.q;
         }
         if (rng.NextDouble() * bound < w) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 #include "src/util/trace.h"
 
 namespace fm {
@@ -11,7 +12,104 @@ namespace {
 
 // Chunk boundaries: chunk c of n over k chunks.
 inline Wid ChunkBegin(Wid n, uint32_t chunks, uint32_t c) {
+  // div: one quotient + remainder per chunk boundary (O(threads) per pass, not
+  // per walker); `chunks` is the runtime thread count, so no shift folding.
   return n / chunks * c + std::min<Wid>(c, n % chunks);
+}
+
+// Destination bin of one walker value: its vertex partition, or the trailing
+// dead bin for terminated walkers.
+FM_HOT_PATH inline uint32_t BinOfWalker(const PartitionPlan* plan,
+                                        uint32_t num_vps, Vid value) {
+  return value == kInvalidVid ? num_vps : plan->VpOf(value);
+}
+
+// Pass-1 kernel: per-chunk destination counts (sequential read of W; counter
+// arrays stay cache-resident — the L2-derived fan-out constraint of §4.3).
+FM_HOT_PATH void CountChunkScan(const PartitionPlan* plan, uint32_t num_vps,
+                                const Vid* w, Wid begin, Wid end, Wid* counts) {
+  for (Wid j = begin; j < end; ++j) {
+    ++counts[BinOfWalker(plan, num_vps, w[j])];
+  }
+}
+
+// Pass-2 kernel (direct path): counting scatter of one chunk of W into SW.
+FM_HOT_PATH void ScatterChunkScan(const PartitionPlan* plan, uint32_t num_vps,
+                                  const Vid* w, const Vid* aux, Wid begin,
+                                  Wid end, Wid* offs, const Wid* vp_offsets,
+                                  Vid* sw, Vid* sw_aux) {
+  for (Wid j = begin; j < end; ++j) {
+    uint32_t bin = BinOfWalker(plan, num_vps, w[j]);
+    Wid p = offs[bin]++;
+    FM_DCHECK_LT(p, vp_offsets[bin + 1]);
+    sw[p] = w[j];
+    if (aux != nullptr) {
+      sw_aux[p] = aux[j];
+    }
+  }
+}
+
+// Outer-pass kernel (two-level path): scatter one chunk of W by outer bin into
+// the intermediate array.
+FM_HOT_PATH void OuterScatterChunkScan(const PartitionPlan* plan,
+                                       uint32_t num_bins, const Vid* w,
+                                       const Vid* aux, Wid begin, Wid end,
+                                       Wid* cursor, Wid scattered_n, Vid* inter,
+                                       Vid* inter_aux) {
+  for (Wid j = begin; j < end; ++j) {
+    Vid v = w[j];
+    uint32_t b = (v == kInvalidVid) ? num_bins : plan->OuterBinOf(v);
+    Wid p = cursor[b]++;
+    FM_DCHECK_LT(p, scattered_n);
+    inter[p] = v;
+    if (aux != nullptr) {
+      inter_aux[p] = aux[j];
+    }
+  }
+}
+
+// Inner-pass kernel (two-level path): stable in-bin counting scatter by VP.
+// Scanning the intermediate chunk in order preserves (chunk, scan) order per
+// VP, matching the direct layout.
+FM_HOT_PATH void InnerScatterGroupScan(const PartitionPlan* plan,
+                                       uint32_t vp_base, uint32_t vp_count,
+                                       Wid begin, Wid end, Wid* offs,
+                                       const Wid* vp_offsets, const Vid* inter,
+                                       const Vid* inter_aux, Vid* sw,
+                                       Vid* sw_aux) {
+  for (Wid j = begin; j < end; ++j) {
+    FM_DCHECK_GE(plan->VpOf(inter[j]), vp_base);
+    uint32_t vp = plan->VpOf(inter[j]) - vp_base;
+    FM_DCHECK_LT(vp, vp_count);
+    Wid p = offs[vp]++;
+    FM_DCHECK_LT(p, vp_offsets[vp_base + vp + 1]);
+    sw[p] = inter[j];
+    if (inter_aux != nullptr) {
+      sw_aux[p] = inter_aux[j];
+    }
+  }
+}
+
+// Gather kernel: replay one chunk's counting offsets, pulling each walker's
+// post-step value out of SW back into walker order. `consumed` is the debug
+// bijectivity witness (null in release builds).
+FM_HOT_PATH void GatherChunkScan(const PartitionPlan* plan, uint32_t num_vps,
+                                 const Vid* w_prev, Wid begin, Wid end,
+                                 Wid* offs, Wid n, const Vid* sw,
+                                 const Vid* sw_aux, Vid* w_next, Vid* aux_next,
+                                 [[maybe_unused]] uint8_t* consumed) {
+  for (Wid j = begin; j < end; ++j) {
+    Wid p = offs[BinOfWalker(plan, num_vps, w_prev[j])]++;
+    FM_DCHECK_LT(p, n);
+#ifndef NDEBUG
+    FM_DCHECK_MSG(consumed[p] == 0, "SW slot " << p << " replayed twice");
+    consumed[p] = 1;
+#endif
+    w_next[j] = sw[p];
+    if (sw_aux != nullptr) {
+      aux_next[j] = sw_aux[p];
+    }
+  }
 }
 
 }  // namespace
@@ -26,18 +124,13 @@ Shuffler::Shuffler(const PartitionPlan* plan, ThreadPool* pool)
 void Shuffler::CountAndPrefix(const Vid* w, Wid n) {
   size_t row = num_vps_ + 1;
   std::fill(starts_.begin(), starts_.end(), 0);
-  // Pass 1: per-chunk destination counts (sequential read of W; counter arrays stay
-  // cache-resident — this is the L2-derived fan-out constraint of §4.3).
   pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
     Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
     Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
     TraceSpan span("shuffle", "count_chunk");
     span.Arg("chunk", c);
     span.Arg("walkers", end - begin);
-    Wid* counts = &starts_[c * row];
-    for (Wid j = begin; j < end; ++j) {
-      ++counts[BinOfValue(w[j])];
-    }
+    CountChunkScan(plan_, num_vps_, w, begin, end, &starts_[c * row]);
   });
   // Prefix over (vp-major, chunk-minor): the SW order within a partition is (chunk,
   // scan), which Gather replays deterministically.
@@ -80,15 +173,8 @@ void Shuffler::ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
     // Working copy so starts_ stays intact for Gather's replay.
     std::vector<Wid> offs(starts_.begin() + c * row,
                           starts_.begin() + (c + 1) * row);
-    for (Wid j = begin; j < end; ++j) {
-      uint32_t bin = BinOfValue(w[j]);
-      Wid p = offs[bin]++;
-      FM_DCHECK_LT(p, vp_offsets_[bin + 1]);
-      sw[p] = w[j];
-      if (aux != nullptr) {
-        sw_aux[p] = aux[j];
-      }
-    }
+    ScatterChunkScan(plan_, num_vps_, w, aux, begin, end, offs.data(),
+                     vp_offsets_.data(), sw, sw_aux);
   });
 }
 
@@ -138,16 +224,9 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
       }
       cursor[b] = bin_base + earlier;
     }
-    for (Wid j = begin; j < end; ++j) {
-      Vid v = w[j];
-      uint32_t b = (v == kInvalidVid) ? num_bins : plan_->OuterBinOf(v);
-      Wid p = cursor[b]++;
-      FM_DCHECK_LT(p, scattered_n_);
-      inter_[p] = v;
-      if (aux != nullptr) {
-        inter_aux_[p] = aux[j];
-      }
-    }
+    OuterScatterChunkScan(plan_, num_bins, w, aux, begin, end, cursor.data(),
+                          scattered_n_, inter_.data(),
+                          aux != nullptr ? inter_aux_.data() : nullptr);
   });
 
   // Inner pass: internal-shuffle bins get a counting scatter from the intermediate
@@ -183,23 +262,14 @@ void Shuffler::ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
       }
       return;
     }
-    // Stable in-bin counting scatter by VP: scanning the intermediate chunk in
-    // order preserves (chunk, scan) order per VP, matching the direct layout.
     std::vector<Wid> offs(g.vp_count);
     for (uint32_t i = 0; i < g.vp_count; ++i) {
       offs[i] = vp_offsets_[g.vp_base + i];
     }
-    for (Wid j = begin; j < end; ++j) {
-      FM_DCHECK_GE(plan_->VpOf(inter_[j]), g.vp_base);
-      uint32_t vp = plan_->VpOf(inter_[j]) - g.vp_base;
-      FM_DCHECK_LT(vp, g.vp_count);
-      Wid p = offs[vp]++;
-      FM_DCHECK_LT(p, vp_offsets_[g.vp_base + vp + 1]);
-      sw[p] = inter_[j];
-      if (aux != nullptr) {
-        sw_aux[p] = inter_aux_[j];
-      }
-    }
+    InnerScatterGroupScan(plan_, g.vp_base, g.vp_count, begin, end, offs.data(),
+                          vp_offsets_.data(), inter_.data(),
+                          aux != nullptr ? inter_aux_.data() : nullptr, sw,
+                          sw_aux);
   });
 }
 
@@ -236,18 +306,13 @@ void Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
     span.Arg("walkers", end - begin);
     std::vector<Wid> offs(starts_.begin() + c * row,
                           starts_.begin() + (c + 1) * row);
-    for (Wid j = begin; j < end; ++j) {
-      Wid p = offs[BinOfValue(w_prev[j])]++;
-      FM_DCHECK_LT(p, n);
 #ifndef NDEBUG
-      FM_DCHECK_MSG(consumed[p] == 0, "SW slot " << p << " replayed twice");
-      consumed[p] = 1;
+    uint8_t* consumed_ptr = consumed.data();
+#else
+    uint8_t* consumed_ptr = nullptr;
 #endif
-      w_next[j] = sw[p];
-      if (sw_aux != nullptr) {
-        aux_next[j] = sw_aux[p];
-      }
-    }
+    GatherChunkScan(plan_, num_vps_, w_prev, begin, end, offs.data(), n, sw,
+                    sw_aux, w_next, aux_next, consumed_ptr);
   });
 }
 

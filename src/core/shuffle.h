@@ -57,10 +57,6 @@ class Shuffler {
                               Vid* sw_aux);
 
  private:
-  uint32_t BinOfValue(Vid value) const {
-    return value == kInvalidVid ? num_vps_ : plan_->VpOf(value);
-  }
-
   void CountAndPrefix(const Vid* w, Wid n);
   void ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);
   void ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);

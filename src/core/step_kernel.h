@@ -15,6 +15,7 @@
 #include "src/graph/csr_graph.h"
 #include "src/sampling/vertex_alias.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace fm {
 
@@ -32,8 +33,9 @@ class StepKernel {
 
   // Moves `vp_index`'s walker chunk one step in place. `prevs` is the
   // predecessor stream chunk (node2vec only; ignored otherwise).
-  void SampleVp(uint32_t vp_index, Vid* walkers, Vid* prevs, Wid count,
-                double stop_probability, XorShiftRng& rng, Hook& hook) const {
+  FM_HOT_PATH void SampleVp(uint32_t vp_index, Vid* walkers, Vid* prevs,
+                            Wid count, double stop_probability,
+                            XorShiftRng& rng, Hook& hook) const {
     const VertexPartition& vp = plan_.vp(vp_index);
     switch (spec_.algorithm) {
       case WalkAlgorithm::kNode2Vec:

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/sync.h"
+
 namespace fm {
 
 class AliasTable {
@@ -27,7 +29,7 @@ class AliasTable {
   // Draws an index with probability weight[i] / sum(weights). `rng` must expose
   // NextBounded(uint64_t) and NextDouble().
   template <typename Rng>
-  uint32_t Sample(Rng& rng) const {
+  FM_HOT_PATH uint32_t Sample(Rng& rng) const {
     uint32_t slot = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
     return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
   }

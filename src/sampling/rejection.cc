@@ -5,6 +5,8 @@ namespace fm {
 double Node2VecWeight(const CsrGraph& graph, Vid prev, Vid candidate,
                       const Node2VecParams& params) {
   if (candidate == prev) {
+    // div: node2vec bias weights 1/p and 1/q; p and q are runtime parameters,
+    // so the quotients cannot fold to shifts.
     return 1.0 / params.p;
   }
   // dist(prev, candidate) == 1 iff prev has an edge to candidate; binary search on
@@ -12,6 +14,7 @@ double Node2VecWeight(const CsrGraph& graph, Vid prev, Vid candidate,
   if (graph.HasEdge(prev, candidate)) {
     return 1.0;
   }
+  // div: see the 1/p justification above.
   return 1.0 / params.q;
 }
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 
 #include "src/graph/csr_graph.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace fm {
@@ -23,15 +24,18 @@ struct Node2VecParams {
 };
 
 // Unnormalized node2vec weight of stepping cur -> candidate given predecessor prev.
-double Node2VecWeight(const CsrGraph& graph, Vid prev, Vid candidate,
-                      const Node2VecParams& params);
+FM_HOT_PATH double Node2VecWeight(const CsrGraph& graph, Vid prev,
+                                  Vid candidate, const Node2VecParams& params);
 
 // Draws the next vertex. `cur` must have degree >= 1. The loop terminates with
 // probability 1 (acceptance ratio >= min-weight / max-weight > 0).
 template <typename Rng>
-Vid SampleNode2VecRejection(const CsrGraph& graph, Vid cur, Vid prev,
-                            const Node2VecParams& params, Rng& rng) {
+FM_HOT_PATH Vid SampleNode2VecRejection(const CsrGraph& graph, Vid cur,
+                                        Vid prev, const Node2VecParams& params,
+                                        Rng& rng) {
   auto nbrs = graph.neighbors(cur);
+  // div: reciprocals of the runtime p/q parameters, computed once per draw and
+  // hoisted out of the rejection loop.
   double bound = std::max({1.0, 1.0 / params.p, 1.0 / params.q});
   while (true) {
     Vid candidate = nbrs[rng.NextBounded(nbrs.size())];

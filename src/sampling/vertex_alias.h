@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/graph/csr_graph.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace fm {
@@ -25,7 +26,8 @@ class VertexAliasTables {
   // Draws a neighbor index of v (0..degree-1) with probability proportional to its
   // edge weight. v must have degree >= 1.
   template <typename Rng, typename Hook>
-  Degree SampleIndex(const CsrGraph& graph, Vid v, Rng& rng, Hook& hook) const {
+  FM_HOT_PATH Degree SampleIndex(const CsrGraph& graph, Vid v, Rng& rng,
+                                 Hook& hook) const {
     Eid begin = graph.edge_begin(v);
     Degree deg = static_cast<Degree>(graph.edge_end(v) - begin);
     Degree slot = static_cast<Degree>(rng.NextBounded(deg));
@@ -35,7 +37,8 @@ class VertexAliasTables {
 
   // Convenience: the sampled neighbor itself.
   template <typename Rng, typename Hook>
-  Vid SampleNeighbor(const CsrGraph& graph, Vid v, Rng& rng, Hook& hook) const {
+  FM_HOT_PATH Vid SampleNeighbor(const CsrGraph& graph, Vid v, Rng& rng,
+                                 Hook& hook) const {
     Eid begin = graph.edge_begin(v);
     Eid pick = begin + SampleIndex(graph, v, rng, hook);
     hook.Load(graph.edges().data() + pick, sizeof(Vid));

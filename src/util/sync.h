@@ -52,6 +52,31 @@
 #define FM_NO_THREAD_SAFETY_ANALYSIS \
   FM_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+// Marks a function as hot-path code: the per-element kernels whose cache
+// residency the whole design rests on (step/sample kernels, shuffle
+// scatter/gather scans, presample refill, alias-table draws). The fmlint
+// hot-path-* rules enforce, over the function and everything it transitively
+// calls, that there is no heap allocation, no mutex acquisition, no blocking
+// syscall/IO, and no unjustified per-element division (see DESIGN.md §7f).
+// Under Clang this also leaves an `annotate` attribute in the IR for tooling;
+// on GCC it compiles to nothing, so -Werror builds are unaffected.
+#define FM_HOT_PATH FM_THREAD_ANNOTATION_(annotate("fm_hot_path"))
+
+// Canonical global lock order (enforced statically by the fmlint lock-order
+// rule, which builds the acquired-before graph from MutexLock nesting and
+// FM_REQUIRES/FM_ACQUIRE sites propagated through the call graph):
+//
+//   1. Application/observer locks (e.g. PairMeetingObserver::mu_ in
+//      src/apps/simrank.cc) — outermost; taken while no service lock is held.
+//   2. Utility service locks: Tracer::mutex_ (src/util/trace.cc) and
+//      ThreadPool::mutex_ (src/util/thread_pool.cc). These are leaves with
+//      respect to each other — no code path may hold both at once.
+//   3. g_log_mutex (src/util/logging.cc) — the global leaf; logging may be
+//      called from anywhere, so it must never acquire another lock.
+//
+// New locks slot into this list (top of the file that defines them) before
+// any code nests them; the lock-order gate in CI fails on any cycle.
+
 namespace fm {
 
 // Plain mutual-exclusion capability. Prefer MutexLock over calling

@@ -7,7 +7,7 @@
 #include <iterator>
 #include <string>
 
-#include "tests/json_util.h"
+#include "src/util/json.h"
 
 #ifndef FMWALK_PATH
 #error "FMWALK_PATH must be defined by the build"
@@ -84,7 +84,7 @@ TEST_F(CliTest, MetricsJsonSmoke) {
   std::ifstream in(metrics);
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
-  fm::testjson::Value doc = fm::testjson::ParseJson(
+  fm::json::Value doc = fm::json::ParseJson(
       text.substr(0, text.find_last_not_of('\n') + 1));
   EXPECT_EQ(doc.Str("schema"), "fm-metrics-v1");
   // Walk ran locally: backend is whatever the host supports, never "off".

@@ -1,0 +1,7 @@
+namespace fm {
+FM_HOT_PATH void Kernel(const int* in, int n) {
+  for (int i = 0; i < n; ++i) {
+    Emit(in[i]);
+  }
+}
+}  // namespace fm

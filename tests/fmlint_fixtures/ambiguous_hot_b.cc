@@ -1,0 +1,7 @@
+#include <cstdio>
+
+namespace fm {
+void Emit(int x) {
+  printf("%d\n", x);
+}
+}  // namespace fm

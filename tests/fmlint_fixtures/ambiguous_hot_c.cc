@@ -1,0 +1,6 @@
+namespace fm {
+class AltSink {
+ public:
+  void Emit(int) {}
+};
+}  // namespace fm

@@ -1,0 +1,7 @@
+#include "src/core/walk_engine.cc"
+#include "src/fm.h"
+#include "src/graph/internal/packing.h"
+
+namespace fm {
+void BreaksDiscipline() {}
+}  // namespace fm

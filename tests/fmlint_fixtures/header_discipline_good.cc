@@ -1,0 +1,6 @@
+#include "src/graph/internal/packing.h"
+#include "src/util/types.h"
+
+namespace fm {
+void OwnInternalIsFine() {}
+}  // namespace fm

@@ -1,0 +1,10 @@
+#include <vector>
+
+namespace fm {
+FM_HOT_PATH void Fill(std::vector<int>& out, int n) {
+  std::vector<int> tmp(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);
+  }
+}
+}  // namespace fm

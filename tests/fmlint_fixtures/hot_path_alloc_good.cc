@@ -1,0 +1,14 @@
+#include <vector>
+
+namespace fm {
+FM_HOT_PATH void Fill(int* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = i;
+  }
+}
+
+// Allocation outside the hot closure is fine.
+void Setup(std::vector<int>& buf, int n) {
+  buf.resize(static_cast<size_t>(n));
+}
+}  // namespace fm

@@ -1,0 +1,5 @@
+namespace fm {
+FM_HOT_PATH int Spread(int x) {
+  return x % 7;
+}
+}  // namespace fm

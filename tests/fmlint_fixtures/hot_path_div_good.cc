@@ -1,0 +1,7 @@
+namespace fm {
+FM_HOT_PATH int Half(int x) {
+  // div: power-of-two halving; the compiler folds this to a shift.
+  int h = x / 2;
+  return h + x % 8;  // div: power-of-two remainder folds to a mask
+}
+}  // namespace fm

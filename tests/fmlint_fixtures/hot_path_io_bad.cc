@@ -1,0 +1,13 @@
+#include <cstdio>
+
+namespace fm {
+inline void Report(int x) {
+  printf("%d\n", x);
+}
+
+FM_HOT_PATH void Kernel(const int* in, int n) {
+  for (int i = 0; i < n; ++i) {
+    Report(in[i]);
+  }
+}
+}  // namespace fm

@@ -1,0 +1,18 @@
+#include <cstdio>
+
+namespace fm {
+inline void Report(int x) {
+  printf("%d\n", x);
+}
+
+FM_HOT_PATH int Kernel(const int* in, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += in[i];
+  }
+  return acc;
+}
+
+// The hot closure does not reach Report from here: not a hot function.
+void Summarize(int acc) { Report(acc); }
+}  // namespace fm

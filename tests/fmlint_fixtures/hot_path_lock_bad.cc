@@ -1,0 +1,15 @@
+#include "src/util/sync.h"
+
+namespace fm {
+class Counter {
+ public:
+  FM_HOT_PATH void Bump() {
+    MutexLock guard(mu_);
+    ++value_;
+  }
+
+ private:
+  Mutex mu_;
+  long value_ = 0;
+};
+}  // namespace fm

@@ -1,0 +1,17 @@
+#include "src/util/sync.h"
+
+namespace fm {
+class Counter {
+ public:
+  void Snapshot() {
+    MutexLock guard(mu_);
+    snap_ = value_;
+  }
+  FM_HOT_PATH void Bump() { ++value_; }
+
+ private:
+  Mutex mu_;
+  long value_ = 0;
+  long snap_ = 0;
+};
+}  // namespace fm

@@ -1,0 +1,5 @@
+#include "src/core/shuffle.h"
+
+namespace fm {
+void UsesUpperLayer() {}
+}  // namespace fm

@@ -1,0 +1,7 @@
+#include "src/cachesim/mem_hook.h"
+#include "src/graph/csr_graph.h"
+#include "src/util/types.h"
+
+namespace fm {
+void FollowsManifest() {}
+}  // namespace fm

@@ -1,0 +1,5 @@
+#include "src/sampling/alias_table.h"
+
+namespace fm {
+void SameBandEdge() {}
+}  // namespace fm

@@ -1,0 +1,24 @@
+#ifndef SRC_UTIL_FXLOCK2_H_
+#define SRC_UTIL_FXLOCK2_H_
+#include "src/util/sync.h"
+namespace fm {
+class Queue {
+ public:
+  void Produce() {
+    MutexLock lock(mu_front_);
+    Drain();
+  }
+  void Consume() {
+    MutexLock lock(mu_rear_);
+    MutexLock lock2(mu_front_);
+  }
+  void Drain() {
+    MutexLock lock(mu_rear_);
+  }
+
+ private:
+  Mutex mu_front_;
+  Mutex mu_rear_;
+};
+}  // namespace fm
+#endif  // SRC_UTIL_FXLOCK2_H_

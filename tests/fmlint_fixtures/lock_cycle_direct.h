@@ -1,0 +1,24 @@
+#ifndef SRC_UTIL_FXLOCK_H_
+#define SRC_UTIL_FXLOCK_H_
+#include "src/util/sync.h"
+namespace fm {
+class Exchange {
+ public:
+  void Deposit() {
+    MutexLock in(mu_in_);
+    MutexLock out(mu_out_);
+    ++moved_;
+  }
+  void Withdraw() {
+    MutexLock out(mu_out_);
+    MutexLock in(mu_in_);
+    --moved_;
+  }
+
+ private:
+  Mutex mu_in_;
+  Mutex mu_out_;
+  long moved_ = 0;
+};
+}  // namespace fm
+#endif  // SRC_UTIL_FXLOCK_H_

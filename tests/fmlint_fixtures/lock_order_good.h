@@ -1,0 +1,24 @@
+#ifndef SRC_UTIL_FXLOCK3_H_
+#define SRC_UTIL_FXLOCK3_H_
+#include "src/util/sync.h"
+namespace fm {
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock in(mu_in_);
+    MutexLock out(mu_out_);
+  }
+  void Debit() {
+    MutexLock in(mu_in_);
+    Flush();
+  }
+  void Flush() {
+    MutexLock out(mu_out_);
+  }
+
+ private:
+  Mutex mu_in_;
+  Mutex mu_out_;
+};
+}  // namespace fm
+#endif  // SRC_UTIL_FXLOCK3_H_

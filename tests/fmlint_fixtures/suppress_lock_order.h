@@ -1,0 +1,21 @@
+#ifndef SRC_UTIL_FXLOCK4_H_
+#define SRC_UTIL_FXLOCK4_H_
+#include "src/util/sync.h"
+namespace fm {
+class Swap {
+ public:
+  void Forward() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);  // fmlint:allow(lock-order) -- upgrade path, audited
+  }
+  void Backward() {
+    MutexLock b(mu_b_);
+    MutexLock a(mu_a_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+}  // namespace fm
+#endif  // SRC_UTIL_FXLOCK4_H_

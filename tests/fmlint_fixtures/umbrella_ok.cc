@@ -1,0 +1,5 @@
+#include "src/fm.h"
+
+namespace fm {
+void ExternalConsumer() {}
+}  // namespace fm

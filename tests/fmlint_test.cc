@@ -1,8 +1,11 @@
-// Self-tests for the fmlint v2 rule engine: every rule is driven over the
-// intentionally-violating fixtures in tests/fmlint_fixtures/ through the
-// exact production path (Engine::Lint), and the suppression machinery
-// (allow / disable-enable blocks, unused- and bad-suppression errors) is
-// exercised end to end. The fixture directory itself is excluded from
+// Self-tests for the fmlint v3 rule engine: every rule — the per-line rules
+// and the whole-program families (layer-dag, header-discipline, lock-order,
+// hot-path-*) — is driven over the intentionally-violating fixtures in
+// tests/fmlint_fixtures/ through the exact production path (Engine::Lint),
+// the suppression machinery (allow / disable-enable blocks, unused- and
+// bad-suppression errors) is exercised end to end, --fix is checked for
+// idempotency, and the real repo tree is gated to zero findings via
+// Engine::LintTree. The fixture directory itself is excluded from
 // Engine::LintTree, so these snippets never pollute the repo lint gate.
 #include <fstream>
 #include <map>
@@ -14,7 +17,9 @@
 
 #include "gtest/gtest.h"
 #include "src/util/json.h"
+#include "tools/fmlint/fix.h"
 #include "tools/fmlint/lint.h"
+#include "tools/fmlint/parse.h"
 #include "tools/fmlint/rules.h"
 
 namespace {
@@ -52,19 +57,22 @@ std::multiset<std::pair<std::string, size_t>> RuleLines(
 
 using Expected = std::multiset<std::pair<std::string, size_t>>;
 
-TEST(FmlintRules, CatalogHasElevenUniquelyNamedRules) {
+TEST(FmlintRules, CatalogHasEighteenUniquelyNamedRules) {
   auto rules = BuildDefaultRules();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 18u);
   std::set<std::string> names;
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule->description().empty()) << rule->name();
     names.insert(std::string(rule->name()));
   }
-  EXPECT_EQ(names.size(), 11u) << "duplicate rule names";
+  EXPECT_EQ(names.size(), 18u) << "duplicate rule names";
   const char* expected[] = {"include-guard",  "banned-rng",    "naked-new",
                             "reinterpret-arith", "visit-counts-mut",
                             "raw-clock",      "perf-syscall",  "raw-mutex",
-                            "relaxed-order",  "manual-lock",   "include-cycle"};
+                            "relaxed-order",  "manual-lock",   "include-cycle",
+                            "layer-dag",      "header-discipline",
+                            "lock-order",     "hot-path-alloc",
+                            "hot-path-lock",  "hot-path-io",   "hot-path-div"};
   for (const char* name : expected) {
     EXPECT_EQ(names.count(name), 1u) << "missing rule: " << name;
   }
@@ -229,6 +237,259 @@ TEST(FmlintEngine, JsonOutputParsesAndCarriesDiagnostics) {
   EXPECT_EQ(arr[0].Str("rule"), "raw-mutex");
   EXPECT_EQ(arr[0].Num("line"), 3.0);
   EXPECT_FALSE(arr[0].Str("message").empty());
+}
+
+// --- layer-dag ---------------------------------------------------------------
+
+TEST(FmlintLayers, LowerLayerMayNotIncludeUpper) {
+  EXPECT_EQ(RuleLines(LintOne("src/util/fx.cc", "layer_dag_bad.cc")),
+            (Expected{{"layer-dag", 1}}));
+}
+
+TEST(FmlintLayers, SameRankEdgeNeedsExplicitAllowance) {
+  // graph -> sampling is not in the sibling allowlist (sampling -> graph is).
+  EXPECT_EQ(RuleLines(LintOne("src/graph/fx.cc", "layer_dag_same_rank_bad.cc")),
+            (Expected{{"layer-dag", 1}}));
+  EXPECT_TRUE(
+      LintOne("src/sampling/fx.cc", "layer_dag_same_rank_bad.cc").empty());
+}
+
+TEST(FmlintLayers, ManifestConformingIncludesAreClean) {
+  EXPECT_TRUE(LintOne("src/core/fx.cc", "layer_dag_good.cc").empty());
+}
+
+// --- header-discipline -------------------------------------------------------
+
+TEST(FmlintLayers, HeaderDisciplineFlagsCcInternalAndUmbrella) {
+  // The umbrella include from inside src/ is also a layer violation (fm.h
+  // ranks above every src module), so both rules fire on line 2.
+  EXPECT_EQ(RuleLines(LintOne("src/apps/fx.cc", "header_discipline_bad.cc")),
+            (Expected{{"header-discipline", 1},
+                      {"header-discipline", 2},
+                      {"layer-dag", 2},
+                      {"header-discipline", 3}}));
+}
+
+TEST(FmlintLayers, OwnInternalHeaderAndExternalUmbrellaAreClean) {
+  EXPECT_TRUE(LintOne("src/graph/fx.cc", "header_discipline_good.cc").empty());
+  EXPECT_TRUE(LintOne("tests/fx.cc", "umbrella_ok.cc").empty());
+}
+
+// --- lock-order --------------------------------------------------------------
+
+TEST(FmlintLockOrder, DirectNestingCycleIsReportedOnce) {
+  auto diags = LintOne("src/util/fxlock.h", "lock_cycle_direct.h");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-order");
+  EXPECT_EQ(diags[0].line, 9u);
+  EXPECT_NE(diags[0].message.find("Exchange::mu_in_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("Exchange::mu_out_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(FmlintLockOrder, CycleThroughCallGraphIsReported) {
+  auto diags = LintOne("src/util/fxlock2.h", "lock_cycle_call.h");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-order");
+  // The front -> rear edge comes from Produce calling Drain under mu_front_.
+  EXPECT_NE(diags[0].message.find("Queue::Drain"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("Queue::mu_rear_"), std::string::npos);
+}
+
+TEST(FmlintLockOrder, ConsistentOrderIsClean) {
+  EXPECT_TRUE(LintOne("src/util/fxlock3.h", "lock_order_good.h").empty());
+}
+
+TEST(FmlintLockOrder, CycleFindingIsSuppressible) {
+  // Whole-program diagnostics run through the same suppression machinery as
+  // per-line ones (and the allow must count as used).
+  EXPECT_TRUE(LintOne("src/util/fxlock4.h", "suppress_lock_order.h").empty());
+}
+
+// --- hot-path family ---------------------------------------------------------
+
+TEST(FmlintHotPath, AllocInHotFunction) {
+  EXPECT_EQ(RuleLines(LintOne("src/core/fxhot.cc", "hot_path_alloc_bad.cc")),
+            (Expected{{"hot-path-alloc", 5}, {"hot-path-alloc", 7}}));
+  EXPECT_TRUE(LintOne("src/core/fxhot.cc", "hot_path_alloc_good.cc").empty());
+}
+
+TEST(FmlintHotPath, LockInHotFunction) {
+  EXPECT_EQ(RuleLines(LintOne("src/core/fxhot.cc", "hot_path_lock_bad.cc")),
+            (Expected{{"hot-path-lock", 7}}));
+  EXPECT_TRUE(LintOne("src/core/fxhot.cc", "hot_path_lock_good.cc").empty());
+}
+
+TEST(FmlintHotPath, IoReachedTransitivelyCarriesTheChain) {
+  auto diags = LintOne("src/core/fxhot.cc", "hot_path_io_bad.cc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "hot-path-io");
+  EXPECT_EQ(diags[0].line, 5u);
+  EXPECT_NE(diags[0].message.find("Kernel -> Report"), std::string::npos);
+  EXPECT_TRUE(LintOne("src/core/fxhot.cc", "hot_path_io_good.cc").empty());
+}
+
+TEST(FmlintHotPath, DivisionNeedsJustification) {
+  EXPECT_EQ(RuleLines(LintOne("src/core/fxhot.cc", "hot_path_div_bad.cc")),
+            (Expected{{"hot-path-div", 3}}));
+  // `div:` on the same line and in the comment block above both justify.
+  EXPECT_TRUE(LintOne("src/core/fxhot.cc", "hot_path_div_good.cc").empty());
+}
+
+TEST(FmlintHotPath, AmbiguousCalleesDoNotPropagateHotness) {
+  // With a unique definition of Emit the closure reaches its printf; adding a
+  // second Emit makes the simple-name call unresolvable, and the analysis
+  // deliberately under-approximates instead of guessing.
+  Engine unique(BuildDefaultRules());
+  auto diags =
+      unique.Lint({{"src/core/fxa.cc", ReadFixture("ambiguous_hot_a.cc")},
+                   {"src/core/fxb.cc", ReadFixture("ambiguous_hot_b.cc")}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "hot-path-io");
+  EXPECT_EQ(diags[0].file, "src/core/fxb.cc");
+
+  Engine ambiguous(BuildDefaultRules());
+  EXPECT_TRUE(
+      ambiguous
+          .Lint({{"src/core/fxa.cc", ReadFixture("ambiguous_hot_a.cc")},
+                 {"src/core/fxb.cc", ReadFixture("ambiguous_hot_b.cc")},
+                 {"src/core/fxc.cc", ReadFixture("ambiguous_hot_c.cc")}})
+          .empty());
+}
+
+// --- parser front end --------------------------------------------------------
+
+TEST(FmlintParse, TokenizerMergesQualifiersAndSkipsPreprocessor) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "#define WIDTH 64\n"
+      "int n = fm::Count(tracer);\n"
+      "n /= 2;\n");
+  auto toks = fmlint::Tokenize(f);
+  std::vector<std::string> texts;
+  for (const auto& t : toks) {
+    texts.push_back(t.text);
+  }
+  // The #define line contributes nothing; :: and /= arrive as single tokens.
+  EXPECT_EQ(texts, (std::vector<std::string>{
+                       "int", "n", "=", "fm", "::", "Count", "(", "tracer",
+                       ")", ";", "n", "/=", "2", ";"}));
+  EXPECT_EQ(toks[0].line, 2u);
+}
+
+TEST(FmlintParse, QualifiesInClassAndOutOfLineDefinitionsAlike) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "namespace fm {\n"
+      "class Tracer {\n"
+      " public:\n"
+      "  void Flush() { count_ = 0; }\n"
+      "};\n"
+      "void Tracer::Emit() { Flush(); }\n"
+      "}  // namespace fm\n");
+  auto fns = fmlint::ParseFunctions(f);
+  ASSERT_EQ(fns.size(), 2u);
+  // Namespace names are deliberately dropped so both spellings agree.
+  EXPECT_EQ(fns[0].qualified, "Tracer::Flush");
+  EXPECT_EQ(fns[1].qualified, "Tracer::Emit");
+  ASSERT_EQ(fns[1].calls.size(), 1u);
+  EXPECT_EQ(fns[1].calls[0].name, "Flush");
+}
+
+TEST(FmlintParse, RaiiLockScopeIsModelled) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "void Work() {\n"
+      "  {\n"
+      "    MutexLock guard(mu);\n"
+      "    Inner();\n"
+      "  }\n"
+      "  Outer();\n"
+      "}\n");
+  auto fns = fmlint::ParseFunctions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  ASSERT_EQ(fns[0].calls.size(), 2u);
+  EXPECT_EQ(fns[0].calls[0].name, "Inner");
+  EXPECT_EQ(fns[0].calls[0].held_locks, std::vector<std::string>{"mu"});
+  EXPECT_EQ(fns[0].calls[1].name, "Outer");
+  EXPECT_TRUE(fns[0].calls[1].held_locks.empty());
+}
+
+TEST(FmlintParse, HotMarkerOnPrototypeMergesOntoDefinition) {
+  // The marker sits on the declaration (header style); the definition is
+  // plain. Linting both as one set must still treat Step as hot.
+  Engine engine(BuildDefaultRules());
+  auto diags = engine.Lint(
+      {{"src/core/fxh.h",
+        "#ifndef SRC_CORE_FXH_H_\n#define SRC_CORE_FXH_H_\n"
+        "namespace fm {\nFM_HOT_PATH int Step(int x);\n}  // namespace fm\n"
+        "#endif  // SRC_CORE_FXH_H_\n"},
+       {"src/core/fxh.cc",
+        "namespace fm {\nint Step(int x) {\n  return x % 5;\n}\n"
+        "}  // namespace fm\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "hot-path-div");
+  EXPECT_EQ(diags[0].file, "src/core/fxh.cc");
+}
+
+TEST(FmlintParse, NormalizeLockName) {
+  EXPECT_EQ(fmlint::NormalizeLockName("mu_", "Widget"), "Widget::mu_");
+  EXPECT_EQ(fmlint::NormalizeLockName("this->mu_", "Widget"), "Widget::mu_");
+  EXPECT_EQ(fmlint::NormalizeLockName("pool.mutex_", "Widget"),
+            "Widget::mutex_");
+  EXPECT_EQ(fmlint::NormalizeLockName("g_log_mutex", "Widget"), "g_log_mutex");
+  EXPECT_EQ(fmlint::NormalizeLockName("Tracer::mutex_", "Widget"),
+            "Tracer::mutex_");
+}
+
+// --- fix ---------------------------------------------------------------------
+
+TEST(FmlintFix, RawMutexFixConvergesAndIsIdempotent) {
+  std::string text = ReadFixture("raw_mutex_bad.cc");
+  EXPECT_GT(fmlint::ApplyFixesToText("tests/fx.cc", &text), 0u);
+  Engine engine(BuildDefaultRules());
+  for (const auto& d : engine.Lint({{"tests/fx.cc", text}})) {
+    EXPECT_NE(d.rule, "raw-mutex") << d.line << ": " << d.message;
+  }
+  std::string again = text;
+  EXPECT_EQ(fmlint::ApplyFixesToText("tests/fx.cc", &again), 0u);
+  EXPECT_EQ(again, text);
+}
+
+TEST(FmlintFix, RawClockFixConvergesAndIsIdempotent) {
+  std::string text = ReadFixture("raw_clock_bad.cc");
+  EXPECT_GT(fmlint::ApplyFixesToText("tests/fx.cc", &text), 0u);
+  Engine engine(BuildDefaultRules());
+  for (const auto& d : engine.Lint({{"tests/fx.cc", text}})) {
+    EXPECT_NE(d.rule, "raw-clock") << d.line << ": " << d.message;
+  }
+  std::string again = text;
+  EXPECT_EQ(fmlint::ApplyFixesToText("tests/fx.cc", &again), 0u);
+}
+
+TEST(FmlintFix, IncludeGuardRenameConvergesAndIsIdempotent) {
+  std::string text = ReadFixture("include_guard_bad.h");
+  EXPECT_GT(fmlint::ApplyFixesToText("src/fixture_bad.h", &text), 0u);
+  Engine engine(BuildDefaultRules());
+  for (const auto& d : engine.Lint({{"src/fixture_bad.h", text}})) {
+    EXPECT_NE(d.rule, "include-guard") << d.line << ": " << d.message;
+  }
+  std::string again = text;
+  EXPECT_EQ(fmlint::ApplyFixesToText("src/fixture_bad.h", &again), 0u);
+}
+
+// --- whole-repo gate ---------------------------------------------------------
+
+TEST(FmlintGate, RepoTreeIsCleanUnderAllFamilies) {
+  // The production tree walk with every rule family enabled: zero findings
+  // and (because unused suppressions are themselves findings) zero stale
+  // fmlint: directives.
+  Engine engine(BuildDefaultRules());
+  for (const Diagnostic& d : engine.LintTree(FMLINT_REPO_ROOT)) {
+    ADD_FAILURE() << d.file << ":" << d.line << " [" << d.rule << "] "
+                  << d.message;
+  }
+  EXPECT_GT(engine.files_linted(), 100u) << "tree walk found too few files";
 }
 
 TEST(FmlintEngine, DiagnosticsSortedByFileThenLine) {

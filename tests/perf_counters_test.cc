@@ -2,7 +2,7 @@
 // syscall shim (no real PMU needed), the graceful-degradation contract
 // (EACCES/ENOSYS -> inactive groups, "noop" backend, all-zero reads, never a
 // failure), CounterSample arithmetic, and JSON round-trips of both metrics
-// schemas through the minimal parser in tests/json_util.h.
+// schemas through the shared parser in src/util/json.h.
 #include "src/util/perf_counters.h"
 
 #include <gtest/gtest.h>
@@ -22,7 +22,7 @@
 #include "src/core/metrics.h"
 #include "src/graph/degree_sort.h"
 #include "src/graph/graph_builder.h"
-#include "tests/json_util.h"
+#include "src/util/json.h"
 
 namespace fm {
 namespace {
@@ -277,7 +277,7 @@ TEST(MetricsExportTest, WalkMetricsJsonRoundTrips) {
   meta.threads = 8;
   WalkStats stats = FabricatedStats();
 
-  testjson::Value doc = testjson::ParseJson(WalkMetricsJson(meta, stats, nullptr));
+  json::Value doc = json::ParseJson(WalkMetricsJson(meta, stats, nullptr));
   EXPECT_EQ(doc.Str("schema"), "fm-metrics-v1");
   EXPECT_EQ(doc.Str("backend"), "perf");
   EXPECT_EQ(doc.Str("tool"), "unit-test");
@@ -286,21 +286,21 @@ TEST(MetricsExportTest, WalkMetricsJsonRoundTrips) {
   EXPECT_EQ(doc.Num("seed"), 1234567890123.0);
   EXPECT_EQ(doc.Num("threads"), 8.0);
 
-  const testjson::Value& run = doc.At("run");
+  const json::Value& run = doc.At("run");
   EXPECT_EQ(run.Num("total_steps"), 1000.0);
   EXPECT_EQ(run.Num("episodes"), 2.0);
   EXPECT_DOUBLE_EQ(run.At("seconds").Num("sample"), 0.5);
 
-  const testjson::Value& counters = doc.At("counters");
+  const json::Value& counters = doc.At("counters");
   EXPECT_EQ(counters.At("sample").Num("cycles"), 800.0);
   EXPECT_EQ(counters.At("sample").Num("llc_misses"), 16.0);
-  const testjson::Value& derived = counters.At("derived");
+  const json::Value& derived = counters.At("derived");
   // Totals: cycles 100+800+100, instructions 1600 -> IPC 1.6.
   EXPECT_DOUBLE_EQ(derived.Num("ipc"), 1.6);
   EXPECT_DOUBLE_EQ(derived.Num("llc_miss_ratio"), 0.25);
   EXPECT_DOUBLE_EQ(derived.Num("cycles_per_step"), 1.0);
 
-  const testjson::Value& steps = doc.At("steps");
+  const json::Value& steps = doc.At("steps");
   ASSERT_EQ(steps.array.size(), 1u);
   EXPECT_EQ(steps.array[0].Num("episode"), 1.0);
   EXPECT_EQ(steps.array[0].Num("step"), 3.0);
@@ -312,8 +312,8 @@ TEST(MetricsExportTest, WalkMetricsJsonRoundTrips) {
 
 TEST(MetricsExportTest, BackendDefaultsToOffWhenCollectionDisabled) {
   WalkStats stats;
-  testjson::Value doc =
-      testjson::ParseJson(WalkMetricsJson(MetricsMeta{}, stats, nullptr));
+  json::Value doc =
+      json::ParseJson(WalkMetricsJson(MetricsMeta{}, stats, nullptr));
   EXPECT_EQ(doc.Str("backend"), "off");
   EXPECT_EQ(doc.At("counters").At("derived").Num("ipc"), 0.0);
 }
@@ -327,7 +327,7 @@ TEST(MetricsExportTest, BenchTrajectoryRoundTrips) {
   sample.values[0] = 12345;
   traj.AddCounters("fig1a/flashmob/YT", sample);
 
-  testjson::Value doc = testjson::ParseJson(traj.ToJson());
+  json::Value doc = json::ParseJson(traj.ToJson());
   EXPECT_EQ(doc.Str("schema"), "fm-bench-trajectory-v1");
   EXPECT_EQ(doc.Str("bench"), "unit_bench");
   EXPECT_EQ(doc.Str("backend"), "noop");
@@ -355,7 +355,7 @@ TEST(MetricsExportTest, WriteReadFileRoundTrip) {
   }
   std::fclose(f);
   std::remove(path.c_str());
-  testjson::Value doc = testjson::ParseJson(
+  json::Value doc = json::ParseJson(
       text.substr(0, text.find_last_not_of('\n') + 1));
   EXPECT_EQ(doc.Str("schema"), "fm-metrics-v1");
 }

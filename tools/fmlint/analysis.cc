@@ -1,0 +1,504 @@
+#include "tools/fmlint/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace fmlint {
+namespace {
+
+// --- shared helpers ----------------------------------------------------------
+
+struct Include {
+  std::string path;  // as written inside the quotes (repo-relative by policy)
+  size_t line;       // 1-based
+};
+
+// Quoted project includes; the path is recovered from the raw line because
+// string contents are blanked in prepared code.
+std::vector<Include> QuotedIncludes(const SourceFile& file) {
+  static const std::regex include_re(R"(^\s*#\s*include\s*\")");
+  std::vector<Include> out;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], include_re)) {
+      continue;
+    }
+    size_t open = file.raw[i].find('"');
+    if (open == std::string::npos) {
+      continue;
+    }
+    size_t close = file.raw[i].find('"', open + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    out.push_back({file.raw[i].substr(open + 1, close - open - 1), i + 1});
+  }
+  return out;
+}
+
+// --- layer-dag ---------------------------------------------------------------
+
+// The layer manifest. Higher ranks may include lower ranks; same-module is
+// always fine; same-rank cross-module edges need an explicit allowance below.
+// src/fm.h (the umbrella header) sits between the src layers and the
+// tool/bench layer: it may include everything in src/, and only non-src code
+// may include it (header-discipline enforces the latter).
+struct Module {
+  std::string name;
+  int rank;
+};
+
+Module ModuleOf(const std::string& path) {
+  static constexpr struct {
+    const char* prefix;
+    int rank;
+  } kLayers[] = {
+      {"src/util/", 0},     {"src/graph/", 10},   {"src/gen/", 10},
+      {"src/sampling/", 10}, {"src/mem/", 10},    {"src/core/", 20},
+      {"src/cachesim/", 20}, {"src/apps/", 30},   {"src/baseline/", 30},
+      {"bench/", 40},        {"tools/", 40},      {"examples/", 40},
+      {"tests/", 50},
+  };
+  if (path == "src/fm.h") {
+    return {"src/fm.h", 35};
+  }
+  for (const auto& layer : kLayers) {
+    if (path.rfind(layer.prefix, 0) == 0) {
+      std::string name(layer.prefix);
+      name.pop_back();  // drop trailing '/'
+      return {std::move(name), layer.rank};
+    }
+  }
+  return {"", -1};  // not part of the manifest (external / unknown)
+}
+
+// Sibling edges sanctioned inside a band.
+bool AllowedSameRank(const std::string& from, const std::string& to) {
+  static constexpr struct {
+    const char* from;
+    const char* to;
+  } kAllowed[] = {
+      {"src/gen", "src/graph"},
+      {"src/sampling", "src/graph"},
+      {"src/core", "src/cachesim"},
+  };
+  for (const auto& edge : kAllowed) {
+    if (from == edge.from && to == edge.to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class LayerDagRule : public Rule {
+ public:
+  std::string_view name() const override { return "layer-dag"; }
+  std::string_view description() const override {
+    return "#include edges must follow the layer manifest: util -> "
+           "graph/gen/sampling/mem -> core/cachesim -> apps/baseline -> "
+           "bench/tools -> tests";
+  }
+
+  void CheckFile(const SourceFile& file, DiagSink& sink) override {
+    Module from = ModuleOf(file.rel_path);
+    if (from.rank < 0) {
+      return;
+    }
+    for (const Include& inc : QuotedIncludes(file)) {
+      Module to = ModuleOf(inc.path);
+      if (to.rank < 0 || from.name == to.name) {
+        continue;
+      }
+      bool ok = to.rank < from.rank ||
+                (to.rank == from.rank && AllowedSameRank(from.name, to.name));
+      if (!ok) {
+        sink.Add({file.rel_path, inc.line, std::string(name()),
+                  "layer violation: " + from.name + " may not include " +
+                      to.name + " (" + inc.path +
+                      "); dependencies flow util -> graph/gen/sampling/mem -> "
+                      "core/cachesim -> apps/baseline -> bench/tools -> tests",
+                  "move the shared code down a layer or invert the "
+                  "dependency"});
+      }
+    }
+  }
+};
+
+// --- header-discipline -------------------------------------------------------
+
+class HeaderDisciplineRule : public Rule {
+ public:
+  std::string_view name() const override { return "header-discipline"; }
+  std::string_view description() const override {
+    return "no including .cc files; src/<dir>/internal/ headers are private "
+           "to their directory; the src/fm.h umbrella is never included from "
+           "src/";
+  }
+
+  void CheckFile(const SourceFile& file, DiagSink& sink) override {
+    for (const Include& inc : QuotedIncludes(file)) {
+      if (inc.path.size() > 3 &&
+          inc.path.compare(inc.path.size() - 3, 3, ".cc") == 0) {
+        sink.Add({file.rel_path, inc.line, std::string(name()),
+                  "never #include an implementation file (" + inc.path + ")",
+                  "link the object file or extract a header"});
+        continue;
+      }
+      // src/<d>/internal/... is private to src/<d>/.
+      static const std::regex internal_re(R"(^(src/[^/]+/)internal/)");
+      std::smatch m;
+      if (std::regex_search(inc.path, m, internal_re) &&
+          file.rel_path.rfind(m[1].str(), 0) != 0) {
+        sink.Add({file.rel_path, inc.line, std::string(name()),
+                  "private header " + inc.path + " is internal to " +
+                      m[1].str() + " and may not be included from " +
+                      file.rel_path,
+                  "use the public header of that module"});
+        continue;
+      }
+      if (inc.path == "src/fm.h" && file.rel_path.rfind("src/", 0) == 0) {
+        sink.Add({file.rel_path, inc.line, std::string(name()),
+                  "the src/fm.h umbrella is for external consumers; inside "
+                  "src/ include the specific headers",
+                  "include the specific src/<module> headers"});
+      }
+    }
+  }
+};
+
+// --- whole-program rule base -------------------------------------------------
+
+class WholeProgramRule : public Rule {
+ public:
+  explicit WholeProgramRule(std::shared_ptr<WholeProgram> wp)
+      : wp_(std::move(wp)) {}
+
+  void CheckFile(const SourceFile& file, DiagSink& /*sink*/) override {
+    wp_->AddFile(file);
+  }
+
+  void Finish(DiagSink& sink) override {
+    wp_->EnsureAnalyzed();
+    Report(sink);
+    wp_->Release();
+  }
+
+ protected:
+  virtual void Report(DiagSink& sink) = 0;
+
+  std::shared_ptr<WholeProgram> wp_;
+};
+
+// --- lock-order --------------------------------------------------------------
+
+class LockOrderRule : public WholeProgramRule {
+ public:
+  using WholeProgramRule::WholeProgramRule;
+
+  std::string_view name() const override { return "lock-order"; }
+  std::string_view description() const override {
+    return "the lock acquired-before graph (MutexLock nesting + FM_REQUIRES/"
+           "FM_ACQUIRE through the call graph) must stay acyclic";
+  }
+
+ protected:
+  void Report(DiagSink& sink) override {
+    for (const auto& cycle : wp_->lock_cycles()) {
+      std::string order;
+      std::string detail;
+      for (const WholeProgram::LockEdge& e : cycle) {
+        order += e.from + " -> ";
+        detail += "; " + e.from + " -> " + e.to + " (" + e.note + " at " +
+                  e.file + ":" + std::to_string(e.line) + ")";
+      }
+      const WholeProgram::LockEdge& first = cycle.front();
+      sink.Add({first.file, first.line, std::string(name()),
+                "potential deadlock: lock-order cycle " + order +
+                    cycle.front().from + detail,
+                "pick one global order for these locks (see the canonical "
+                "order in src/util/sync.h) and acquire in that order "
+                "everywhere"});
+    }
+  }
+};
+
+// --- hot-path family ---------------------------------------------------------
+
+// Base for the hot-path rules: iterates the hot closure and lets subclasses
+// scan each function, deduplicating per line.
+class HotPathRule : public WholeProgramRule {
+ public:
+  using WholeProgramRule::WholeProgramRule;
+
+ protected:
+  void Report(DiagSink& sink) override {
+    reported_.clear();
+    const std::vector<FunctionInfo>& fns = wp_->functions();
+    for (size_t i = 0; i < fns.size(); ++i) {
+      if (wp_->IsHot(i)) {
+        ScanHot(fns[i], wp_->HotChain(i), sink);
+      }
+    }
+  }
+
+  virtual void ScanHot(const FunctionInfo& fn, const std::string& chain,
+                       DiagSink& sink) = 0;
+
+  void AddOnce(const std::string& file, size_t line, const std::string& what,
+               const std::string& chain, const char* fixit, DiagSink& sink) {
+    if (!reported_.emplace(file, line).second) {
+      return;
+    }
+    sink.Add({file, line, std::string(name()),
+              what + " [hot path: " + chain + "]", fixit});
+  }
+
+ private:
+  std::set<std::pair<std::string, size_t>> reported_;
+};
+
+class HotPathAllocRule : public HotPathRule {
+ public:
+  using HotPathRule::HotPathRule;
+
+  std::string_view name() const override { return "hot-path-alloc"; }
+  std::string_view description() const override {
+    return "no heap allocation inside FM_HOT_PATH functions or anything they "
+           "transitively call";
+  }
+
+ protected:
+  void ScanHot(const FunctionInfo& fn, const std::string& chain,
+               DiagSink& sink) override {
+    static const std::set<std::string> kAllocFns = {
+        "malloc",      "calloc",          "realloc",    "free",
+        "aligned_alloc", "posix_memalign", "strdup",     "make_unique",
+        "make_shared"};
+    static const std::set<std::string> kContainers = {
+        "vector",        "string",       "deque",         "map",
+        "unordered_map", "set",          "unordered_set", "list",
+        "multimap",      "basic_string", "stringstream",  "ostringstream",
+        "istringstream"};
+    static const std::set<std::string> kGrowth = {
+        "push_back", "emplace_back", "emplace", "resize",
+        "reserve",   "insert",       "append",  "assign"};
+
+    for (size_t i = 0; i < fn.body.size(); ++i) {
+      const Token& t = fn.body[i];
+      if (t.kind != Token::Kind::kIdent) {
+        continue;
+      }
+      if (t.text == "new" || t.text == "delete") {
+        AddOnce(fn.file, t.line, "'" + t.text + "' in hot path", chain,
+                "preallocate outside the hot loop", sink);
+        continue;
+      }
+      bool called = i + 1 < fn.body.size() && (fn.body[i + 1].text == "(" ||
+                                               fn.body[i + 1].text == "<");
+      if (called && kAllocFns.count(t.text) != 0) {
+        AddOnce(fn.file, t.line, "heap allocation '" + t.text + "' in hot path",
+                chain, "preallocate outside the hot loop", sink);
+      }
+    }
+    for (const DeclSite& d : fn.decls) {
+      if (kContainers.count(d.type) != 0) {
+        AddOnce(fn.file, d.line,
+                "allocating container '" + d.type + " " + d.var +
+                    "' constructed in hot path",
+                chain, "hoist the buffer out of the hot loop and reuse it",
+                sink);
+      }
+    }
+    for (const CallSite& c : fn.calls) {
+      if (kGrowth.count(c.name) != 0) {
+        AddOnce(fn.file, c.line,
+                "container growth '" + c.name + "' in hot path", chain,
+                "size the buffer up front; write through indices", sink);
+      }
+    }
+  }
+};
+
+class HotPathLockRule : public HotPathRule {
+ public:
+  using HotPathRule::HotPathRule;
+
+  std::string_view name() const override { return "hot-path-lock"; }
+  std::string_view description() const override {
+    return "no mutex acquisition inside the FM_HOT_PATH closure";
+  }
+
+ protected:
+  void ScanHot(const FunctionInfo& fn, const std::string& chain,
+               DiagSink& sink) override {
+    for (const LockSite& site : fn.locks) {
+      AddOnce(fn.file, site.line,
+              "acquires lock '" + site.lock + "' in hot path", chain,
+              "restructure so the hot loop works on thread-private state",
+              sink);
+    }
+    static const std::set<std::string> kLockCalls = {"Lock", "TryLock", "lock",
+                                                     "try_lock"};
+    for (const CallSite& c : fn.calls) {
+      if (kLockCalls.count(c.name) != 0) {
+        AddOnce(fn.file, c.line, "lock call '" + c.name + "' in hot path",
+                chain,
+                "restructure so the hot loop works on thread-private state",
+                sink);
+      }
+    }
+    if (!fn.acquires_locks.empty()) {
+      AddOnce(fn.file, fn.line,
+              "FM_ACQUIRE-annotated function in hot path", chain,
+              "hot code must not take locks; move the locking to the "
+              "enclosing stage boundary",
+              sink);
+    }
+  }
+};
+
+class HotPathIoRule : public HotPathRule {
+ public:
+  using HotPathRule::HotPathRule;
+
+  std::string_view name() const override { return "hot-path-io"; }
+  std::string_view description() const override {
+    return "no blocking syscalls, I/O, or logging inside the FM_HOT_PATH "
+           "closure";
+  }
+
+ protected:
+  void ScanHot(const FunctionInfo& fn, const std::string& chain,
+               DiagSink& sink) override {
+    static const std::set<std::string> kIoCalls = {
+        "printf",  "fprintf", "puts",      "fputs",     "fwrite",
+        "fread",   "fopen",   "fclose",    "getline",   "scanf",
+        "fscanf",  "open",    "read",      "write",     "pread",
+        "pwrite",  "mmap",    "munmap",    "msync",     "fsync",
+        "syscall", "sleep",   "usleep",    "nanosleep", "sleep_for",
+        "sleep_until", "FM_LOG"};
+    static const std::set<std::string> kStreams = {"ofstream", "ifstream",
+                                                   "fstream"};
+    static const std::set<std::string> kStreamObjs = {"cout", "cerr", "clog"};
+    for (const CallSite& c : fn.calls) {
+      if (kIoCalls.count(c.name) != 0) {
+        AddOnce(fn.file, c.line,
+                "blocking I/O or syscall '" + c.name + "' in hot path", chain,
+                "buffer results and emit them outside the hot loop", sink);
+      }
+    }
+    for (const DeclSite& d : fn.decls) {
+      if (kStreams.count(d.type) != 0) {
+        AddOnce(fn.file, d.line, "file stream opened in hot path", chain,
+                "open files at stage boundaries, not per element", sink);
+      }
+    }
+    for (const Token& t : fn.body) {
+      if (t.kind == Token::Kind::kIdent && kStreamObjs.count(t.text) != 0) {
+        AddOnce(fn.file, t.line, "console stream '" + t.text + "' in hot path",
+                chain, "buffer results and emit them outside the hot loop",
+                sink);
+      }
+    }
+  }
+};
+
+class HotPathDivRule : public HotPathRule {
+ public:
+  using HotPathRule::HotPathRule;
+
+  std::string_view name() const override { return "hot-path-div"; }
+  std::string_view description() const override {
+    return "per-element / or % inside the FM_HOT_PATH closure needs an "
+           "adjacent `div:` justification comment";
+  }
+
+ protected:
+  void ScanHot(const FunctionInfo& fn, const std::string& chain,
+               DiagSink& sink) override {
+    const SourceFile* file = wp_->file(fn.file);
+    for (const Token& t : fn.body) {
+      if (t.kind != Token::Kind::kPunct) {
+        continue;
+      }
+      if (t.text != "/" && t.text != "%" && t.text != "/=" && t.text != "%=") {
+        continue;
+      }
+      if (file != nullptr && Justified(*file, t.line)) {
+        continue;
+      }
+      AddOnce(fn.file, t.line,
+              "division '" + t.text + "' in hot path without a `div:` "
+              "justification; hardware divide stalls the sample loop",
+              chain,
+              "// div: <why this cannot be a shift/mask or hoisted "
+              "reciprocal>",
+              sink);
+    }
+  }
+
+ private:
+  // Same shape as the relaxed-order justification: tag on the same line or in
+  // the contiguous //-comment block immediately above.
+  static bool Justified(const SourceFile& file, size_t line_1based) {
+    static constexpr const char* kTag = "div:";
+    if (line_1based == 0 || line_1based > file.raw.size()) {
+      return false;
+    }
+    size_t i = line_1based - 1;
+    if (file.raw[i].find(kTag) != std::string::npos) {
+      return true;
+    }
+    for (size_t j = i; j > 0; --j) {
+      const std::string& above = file.raw[j - 1];
+      size_t first = above.find_first_not_of(" \t");
+      if (first == std::string::npos || above.compare(first, 2, "//") != 0) {
+        break;
+      }
+      if (above.find(kTag, first) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLayerDagRule() {
+  return std::make_unique<LayerDagRule>();
+}
+std::unique_ptr<Rule> MakeHeaderDisciplineRule() {
+  return std::make_unique<HeaderDisciplineRule>();
+}
+std::unique_ptr<Rule> MakeLockOrderRule(std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<LockOrderRule>(std::move(wp));
+}
+std::unique_ptr<Rule> MakeHotPathAllocRule(std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<HotPathAllocRule>(std::move(wp));
+}
+std::unique_ptr<Rule> MakeHotPathLockRule(std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<HotPathLockRule>(std::move(wp));
+}
+std::unique_ptr<Rule> MakeHotPathIoRule(std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<HotPathIoRule>(std::move(wp));
+}
+std::unique_ptr<Rule> MakeHotPathDivRule(std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<HotPathDivRule>(std::move(wp));
+}
+
+std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules() {
+  auto wp = std::make_shared<WholeProgram>(5);
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(MakeLockOrderRule(wp));
+  rules.push_back(MakeHotPathAllocRule(wp));
+  rules.push_back(MakeHotPathLockRule(wp));
+  rules.push_back(MakeHotPathIoRule(wp));
+  rules.push_back(MakeHotPathDivRule(wp));
+  return rules;
+}
+
+}  // namespace fmlint

@@ -1,0 +1,102 @@
+// fmlint v3 whole-program layer — cross-TU symbol index, call graph, hot-path
+// closure, and lock-acquisition-order graph over parsed FunctionInfos.
+//
+// Shared by the lock-order and hot-path-* rules through one WholeProgram
+// instance so the tree is parsed once per lint run. Lifecycle: every consumer
+// rule feeds files in CheckFile (AddFile dedups by path), calls
+// EnsureAnalyzed() + queries in Finish, then Release(); when the last
+// registered consumer releases, all state clears so the same Engine can lint
+// again (the self-tests rely on that).
+//
+// Call resolution is deliberately under-approximate: a qualified call
+// ("Tracer::Get") resolves exactly; a simple name resolves only when the whole
+// tree has exactly one definition of that name. Ambiguous names (overload
+// sets, template-hook pairs like NullMemHook/CacheSimHook::Load) resolve to
+// nothing — which is why every leaf kernel is marked FM_HOT_PATH directly
+// rather than relying on closure alone.
+#ifndef TOOLS_FMLINT_CALLGRAPH_H_
+#define TOOLS_FMLINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/fmlint/lint.h"
+#include "tools/fmlint/parse.h"
+
+namespace fmlint {
+
+class WholeProgram {
+ public:
+  // `consumers` = number of rules sharing this instance; Release() from each
+  // of them resets the state for the next lint run.
+  explicit WholeProgram(int consumers);
+
+  void AddFile(const SourceFile& file);
+  void EnsureAnalyzed();
+  void Release();
+
+  // --- queries; valid between EnsureAnalyzed() and the final Release() ---
+
+  // Function definitions (declaration-only marker entries already merged in
+  // and removed).
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  // Stored copy of a fed file, for justification-comment lookups.
+  const SourceFile* file(const std::string& rel_path) const;
+
+  // Definition indices a call name resolves to (empty when unknown or
+  // ambiguous).
+  std::vector<size_t> Resolve(const std::string& call_name) const;
+
+  // Hot closure: indices of functions that are FM_HOT_PATH or transitively
+  // called from one, and the qualified call chain from the nearest hot root
+  // ("StepKernel::SampleVp -> SampleVpNode2Vec"; just the name for roots).
+  bool IsHot(size_t fn_index) const;
+  const std::string& HotChain(size_t fn_index) const;
+
+  struct LockEdge {
+    std::string from;  // lock held
+    std::string to;    // lock acquired while holding `from`
+    std::string file;
+    size_t line = 0;
+    std::string note;  // human context: which function / call produced it
+  };
+  // Deduplicated acquired-before edges.
+  const std::vector<LockEdge>& lock_edges() const { return lock_edges_; }
+  // Elementary cycles found in the lock graph, canonically rotated, as the
+  // edge list around each cycle. Empty means the lock order is a DAG.
+  const std::vector<std::vector<LockEdge>>& lock_cycles() const {
+    return lock_cycles_;
+  }
+
+ private:
+  void BuildIndex();
+  void BuildHotClosure();
+  void BuildLockGraph();
+  const std::set<std::string>& AcquiredSet(size_t fn_index);
+
+  int consumers_;
+  int releases_ = 0;
+  bool analyzed_ = false;
+
+  std::map<std::string, SourceFile> files_;  // rel_path -> stored copy
+  std::vector<FunctionInfo> functions_;      // definitions only, post-merge
+
+  std::map<std::string, std::vector<size_t>> by_qualified_;
+  std::map<std::string, std::set<std::string>> by_simple_;
+
+  std::vector<std::string> hot_chain_;  // "" = not hot
+
+  std::vector<std::set<std::string>> acquired_;  // memo for AcquiredSet
+  std::vector<int> acquired_state_;              // 0 new / 1 on stack / 2 done
+
+  std::vector<LockEdge> lock_edges_;
+  std::vector<std::vector<LockEdge>> lock_cycles_;
+};
+
+}  // namespace fmlint
+
+#endif  // TOOLS_FMLINT_CALLGRAPH_H_

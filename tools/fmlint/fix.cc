@@ -1,0 +1,216 @@
+#include "tools/fmlint/fix.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <vector>
+
+#include "tools/fmlint/lint.h"
+
+namespace fmlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Same path derivation as the include-guard rule.
+std::string ExpectedGuardFor(const std::string& rel_path) {
+  std::string guard;
+  guard.reserve(rel_path.size() + 1);
+  for (char c : rel_path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+struct Substitution {
+  const char* pattern;      // regex, matched against blanked code lines
+  const char* replacement;  // literal splice
+};
+
+// Order matters: the guard types must be rewritten before bare std::mutex so
+// `std::lock_guard<std::mutex>` doesn't decay into
+// `std::lock_guard<fm::Mutex>`.
+constexpr Substitution kMutexSubs[] = {
+    {R"(std\s*::\s*lock_guard\s*<\s*std\s*::\s*mutex\s*>)", "fm::MutexLock"},
+    {R"(std\s*::\s*unique_lock\s*<\s*std\s*::\s*mutex\s*>)", "fm::MutexLock"},
+    {R"(std\s*::\s*condition_variable)", "fm::CondVar"},
+    {R"(std\s*::\s*mutex\b)", "fm::Mutex"},
+};
+
+constexpr Substitution kClockSubs[] = {
+    {R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(\s*\))",
+     "fm::TraceNowNs()"},
+};
+
+bool MutexExempt(const std::string& rel_path) {
+  return rel_path == "src/util/sync.h";
+}
+
+bool ClockExempt(const std::string& rel_path) {
+  return rel_path == "src/util/timer.h" || rel_path == "src/util/trace.cc" ||
+         rel_path == "src/util/perf_counters.cc";
+}
+
+// Applies one substitution pass over the file; matches are found on the code
+// line and spliced into the raw line at the same columns. Lines carrying an
+// fmlint: directive are never touched — a suppression means "leave this as
+// is". Returns the number of edits.
+size_t OnePass(const std::string& rel_path, std::vector<std::string>* raw) {
+  std::string joined;
+  for (const std::string& line : *raw) {
+    joined += line;
+    joined += '\n';
+  }
+  SourceFile file = PrepareSource(rel_path, joined);
+  size_t edits = 0;
+
+  auto apply = [&](const Substitution& sub) {
+    const std::regex re(sub.pattern);
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if ((*raw)[i].find("fmlint:") != std::string::npos) {
+        continue;
+      }
+      std::smatch m;
+      if (!std::regex_search(file.code[i], m, re)) {
+        continue;
+      }
+      // One match per line per pass; the fixpoint loop picks up the rest.
+      size_t pos = static_cast<size_t>(m.position(0));
+      (*raw)[i].replace(pos, static_cast<size_t>(m.length(0)),
+                        sub.replacement);
+      ++edits;
+      // Raw and code lines have diverged on this line; stop this pattern's
+      // pass here and let the next pass re-prepare.
+      return;
+    }
+  };
+
+  if (!MutexExempt(rel_path)) {
+    for (const Substitution& sub : kMutexSubs) {
+      apply(sub);
+    }
+  }
+  if (!ClockExempt(rel_path)) {
+    for (const Substitution& sub : kClockSubs) {
+      apply(sub);
+    }
+  }
+
+  // include-guard: rename a wrong guard token on the #ifndef/#define pair
+  // (and the #endif trailer comment, which lives in raw).
+  if (file.is_header && edits == 0) {
+    std::string expected = ExpectedGuardFor(rel_path);
+    static const std::regex ifndef_re(R"(^\s*#\s*ifndef\s+([A-Za-z0-9_]+))");
+    static const std::regex define_re(R"(^\s*#\s*define\s+([A-Za-z0-9_]+))");
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(file.code[i], m, ifndef_re)) {
+        continue;
+      }
+      std::string actual = m[1].str();
+      if (actual == expected) {
+        break;
+      }
+      auto rename = [&](std::string* line) {
+        size_t pos = line->find(actual);
+        if (pos != std::string::npos) {
+          line->replace(pos, actual.size(), expected);
+          ++edits;
+        }
+      };
+      rename(&(*raw)[i]);
+      if (i + 1 < raw->size() &&
+          std::regex_search(file.code[i + 1], m, define_re) &&
+          m[1].str() == actual) {
+        rename(&(*raw)[i + 1]);
+      }
+      for (size_t j = raw->size(); j > i + 1; --j) {
+        if (file.code[j - 1].find("#endif") != std::string::npos) {
+          rename(&(*raw)[j - 1]);
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return edits;
+}
+
+}  // namespace
+
+size_t ApplyFixesToText(const std::string& rel_path, std::string* text) {
+  std::vector<std::string> raw = SplitLines(*text);
+  bool ends_with_newline = !text->empty() && text->back() == '\n';
+  size_t total = 0;
+  // Fixpoint with a generous bound; each pass applies at most one edit per
+  // pattern, so the bound only guards against a pathological oscillation.
+  for (int pass = 0; pass < 1000; ++pass) {
+    size_t edits = OnePass(rel_path, &raw);
+    if (edits == 0) {
+      break;
+    }
+    total += edits;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  std::string out;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out += raw[i];
+    if (i + 1 < raw.size() || ends_with_newline) {
+      out += '\n';
+    }
+  }
+  *text = std::move(out);
+  return total;
+}
+
+FixResult FixTree(const std::string& root) {
+  static constexpr const char* kDirs[] = {"src", "tests", "bench", "tools",
+                                          "examples"};
+  FixResult result;
+  fs::path root_path(root);
+  for (const char* dir : kDirs) {
+    fs::path sub = root_path / dir;
+    if (!fs::is_directory(sub)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      fs::path ext = entry.path().extension();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      std::string rel = fs::relative(entry.path(), root_path).generic_string();
+      if (rel.rfind("tests/fmlint_fixtures/", 0) == 0) {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      if (!in || !(buf << in.rdbuf())) {
+        continue;
+      }
+      std::string text = buf.str();
+      size_t edits = ApplyFixesToText(rel, &text);
+      if (edits == 0) {
+        continue;
+      }
+      std::ofstream outf(entry.path(), std::ios::binary | std::ios::trunc);
+      outf << text;
+      ++result.files_changed;
+      result.edits += edits;
+    }
+  }
+  return result;
+}
+
+}  // namespace fmlint

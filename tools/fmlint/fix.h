@@ -1,0 +1,43 @@
+// fmlint --fix: in-place application of the mechanical fix-it hints.
+//
+// Only rules whose fix is a pure textual substitution are auto-fixed:
+//
+//   include-guard  wrong guard token renamed to the path-derived one on the
+//                  #ifndef / #define pair and the trailing #endif comment
+//                  (a *missing* guard is reported but not inserted).
+//   raw-mutex      std::lock_guard<std::mutex> / std::unique_lock<std::mutex>
+//                  -> fm::MutexLock; std::condition_variable -> fm::CondVar;
+//                  std::mutex -> fm::Mutex.
+//   raw-clock      std::chrono::{steady,system,high_resolution}_clock::now()
+//                  -> fm::TraceNowNs().
+//
+// Substitutions are located on the comment/string-blanked code lines and
+// spliced into the raw lines at the same columns (PrepareSource guarantees
+// they align), so matches inside comments or strings are never touched. Rule
+// exemptions (src/util/sync.h, timer.h, ...) are honored, and any line
+// carrying an fmlint: directive is left alone. Fixing runs to a fixpoint, so
+// a second run is always a no-op (the idempotency test pins this).
+#ifndef TOOLS_FMLINT_FIX_H_
+#define TOOLS_FMLINT_FIX_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fmlint {
+
+struct FixResult {
+  size_t files_changed = 0;
+  size_t edits = 0;
+};
+
+// Applies every mechanical fix to `text` (contents of `rel_path`), in place.
+// Returns the number of edits applied (0 = unchanged).
+size_t ApplyFixesToText(const std::string& rel_path, std::string* text);
+
+// Walks the same directories as Engine::LintTree (skipping fixtures), fixing
+// files on disk.
+FixResult FixTree(const std::string& root);
+
+}  // namespace fmlint
+
+#endif  // TOOLS_FMLINT_FIX_H_

@@ -95,8 +95,10 @@ class Engine {
   size_t files_linted_ = 0;
 };
 
-// The registered rule set: the seven ported v1 rules plus raw-mutex,
-// relaxed-order, manual-lock, and include-cycle (tools/fmlint/rules.cc).
+// The registered rule set: the eleven per-line/per-tree rules
+// (tools/fmlint/rules.cc) plus the seven whole-program rules — layer-dag,
+// header-discipline, lock-order, and the hot-path family
+// (tools/fmlint/analysis.cc).
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();
 
 // {"schema":"fmlint-v2","files":N,"violations":N,"diagnostics":[...]}.

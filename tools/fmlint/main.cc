@@ -1,32 +1,39 @@
 // fmlint CLI — lints the repo tree with the default rule set.
 //
-// Usage: fmlint [--json] [--list-rules] <repo-root>
+// Usage: fmlint [--json] [--fix] [--list-rules] <repo-root>
 //
 // Default output is one `path:line: [rule] message` line per diagnostic on
 // stderr (plus a `fixit:` line when the rule has a suggestion); --json writes
-// a machine-readable fmlint-v2 document to stdout instead. Exit status:
-// 0 clean, 1 violations, 2 usage/IO error.
+// a machine-readable fmlint-v2 document to stdout instead. --fix applies the
+// mechanical fix-it hints (include-guard, raw-mutex, raw-clock) in place
+// before linting. Exit status: 0 clean, 1 violations, 2 usage/IO error.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "tools/fmlint/fix.h"
 #include "tools/fmlint/lint.h"
 #include "tools/fmlint/rules.h"
 
 int main(int argc, char** argv) {
   bool json = false;
   bool list_rules = false;
+  bool fix = false;
   const char* root = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       list_rules = true;
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      fix = true;
     } else if (root == nullptr && argv[i][0] != '-') {
       root = argv[i];
     } else {
-      std::fprintf(stderr, "usage: fmlint [--json] [--list-rules] <repo-root>\n");
+      std::fprintf(stderr,
+                   "usage: fmlint [--json] [--fix] [--list-rules] "
+                   "<repo-root>\n");
       return 2;
     }
   }
@@ -40,12 +47,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (root == nullptr) {
-    std::fprintf(stderr, "usage: fmlint [--json] [--list-rules] <repo-root>\n");
+    std::fprintf(stderr,
+                 "usage: fmlint [--json] [--fix] [--list-rules] <repo-root>\n");
     return 2;
   }
   if (!std::filesystem::is_directory(root)) {
     std::fprintf(stderr, "fmlint: not a directory: %s\n", root);
     return 2;
+  }
+
+  if (fix) {
+    fmlint::FixResult fixed = fmlint::FixTree(root);
+    if (!json) {
+      std::fprintf(stderr, "fmlint: applied %zu fix(es) in %zu file(s)\n",
+                   fixed.edits, fixed.files_changed);
+    }
   }
 
   std::vector<fmlint::Diagnostic> diags = engine.LintTree(root);

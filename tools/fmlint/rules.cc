@@ -1,6 +1,8 @@
 #include "tools/fmlint/rules.h"
 
 #include <algorithm>
+
+#include "tools/fmlint/analysis.h"
 #include <cctype>
 #include <map>
 #include <regex>
@@ -460,6 +462,11 @@ std::vector<std::unique_ptr<Rule>> BuildDefaultRules() {
   rules.push_back(MakeRelaxedOrderRule());
   rules.push_back(MakeManualLockRule());
   rules.push_back(MakeIncludeCycleRule());
+  rules.push_back(MakeLayerDagRule());
+  rules.push_back(MakeHeaderDisciplineRule());
+  for (auto& rule : MakeWholeProgramRules()) {
+    rules.push_back(std::move(rule));
+  }
   return rules;
 }
 
