@@ -6,6 +6,7 @@
 //   FM_STEPS    walk length per walker                     (default 24)
 //   FM_ROUNDS   walkers = FM_ROUNDS * |V|                  (default 1)
 //   FM_THREADS  worker threads                             (default: all cores)
+//   FM_SHUFFLE  shuffle backend: direct | binned | auto    (default auto)
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -128,11 +129,25 @@ inline WalkSpec PerfSpec(const CsrGraph& graph,
   return spec;
 }
 
+// FM_SHUFFLE env knob; exits loudly on a bad value so CI typos cannot
+// silently fall back to the default backend.
+inline ShuffleBackendKind BenchShuffleBackend() {
+  const std::string name = EnvString("FM_SHUFFLE", "auto");
+  ShuffleBackendKind kind = ShuffleBackendKind::kAuto;
+  if (!ParseShuffleBackendName(name, &kind)) {
+    std::fprintf(stderr, "bad FM_SHUFFLE value: %s (want direct|binned|auto)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return kind;
+}
+
 inline EngineOptions PerfEngineOptions() {
   EngineOptions options;
   options.count_visits = false;
   options.cost_model = &BenchCostModel();
   options.plan.cache = DetectCacheInfo();
+  options.shuffle_backend = BenchShuffleBackend();
   return options;
 }
 

@@ -3,8 +3,16 @@
 // (a) Per-step DeepWalk time: KnightKing on toy graphs sized into L1/L2/L3, then on
 //     the YT and YH stand-ins; FlashMob on YT and YH. The paper's claim: FlashMob on
 //     the biggest graph matches KnightKing's speed on an L2-resident toy graph.
+//     With FM_SHUFFLE=auto (default) the FlashMob rows also run once per shuffle
+//     backend (fig1a/flashmob-direct, fig1a/flashmob-binned) so the trajectory
+//     tracks the propagation-blocking crossover honestly — including configs
+//     where the direct path wins because the walker array is LLC-resident.
 // (b) Per-step cache-miss breakdown (software cache simulator standing in for perf;
-//     see DESIGN.md §3) for both engines on YT and YH.
+//     see DESIGN.md §3) for both engines on YT and YH, plus the shuffle-stage
+//     attribution per backend (fig1b/flashmob/shuffle-*). FM_FIG1_SIM_WALKERS
+//     overrides the instrumented walker count — set it above ~5.2M so the
+//     walker array exceeds the simulated 19.75MB LLC, the regime binned
+//     shuffling targets.
 #include "bench/bench_util.h"
 
 namespace fm {
@@ -31,25 +39,51 @@ double KnightKingPerStep(const CsrGraph& g, const char* point,
   return ns;
 }
 
-double FlashMobPerStep(const CsrGraph& g, const char* point,
-                       BenchTrajectory* traj) {
+struct FlashMobRun {
+  double ns = 0;          // whole-pipeline ns/step
+  double shuffle_ns = 0;  // scatter + gather ns/step
+  std::string backend;    // concrete backend that ran
+};
+
+FlashMobRun FlashMobPerStep(const CsrGraph& g, const char* point,
+                            BenchTrajectory* traj, const char* series,
+                            ShuffleBackendKind backend) {
   EngineOptions options = PerfEngineOptions();
+  options.shuffle_backend = backend;
   options.collect_counters = traj != nullptr;
   FlashMobEngine engine(g, options);
   WalkResult result = engine.Run(PaddedSpec(g));
+  const WalkStats& stats = result.stats;
+  FlashMobRun run;
+  run.ns = stats.PerStepNs();
+  run.shuffle_ns = stats.total_steps == 0
+                       ? 0
+                       : stats.times.shuffle_s * 1e9 /
+                             static_cast<double>(stats.total_steps);
+  run.backend = stats.shuffle_backend;
   if (traj != nullptr) {
-    traj->set_backend(result.stats.perf_backend);
-    traj->Add("fig1a/flashmob", point, result.stats.PerStepNs(), "ns/step");
-    traj->AddCounters(std::string("fig1a/flashmob/") + point,
-                      result.stats.counters.Total());
+    traj->set_backend(stats.perf_backend);
+    traj->Add(series, point, run.ns, "ns/step");
+    const std::string shuffle_series = std::string(series) + "/shuffle";
+    traj->Add(shuffle_series, point, run.shuffle_ns, "ns/step");
+    traj->AddCounters(std::string(series) + "/" + point,
+                      stats.counters.Total());
+    CounterSample shuffle_counters = stats.counters.scatter;
+    shuffle_counters += stats.counters.gather;
+    traj->AddCounters(shuffle_series + "/" + point, shuffle_counters);
   }
-  return result.stats.PerStepNs();
+  return run;
 }
 
 void MissBreakdown(const char* name, const CsrGraph& g, BenchTrajectory* traj) {
   WalkSpec spec;
   spec.steps = static_cast<uint32_t>(EnvInt64("FM_FIG1_SIM_STEPS", 6));
-  spec.num_walkers = g.num_vertices();  // paper density: |V| walkers per episode
+  // Paper density: |V| walkers per episode. FM_FIG1_SIM_WALKERS overrides so
+  // the walker array can be pushed past the simulated LLC.
+  const uint64_t sim_walkers =
+      static_cast<uint64_t>(EnvInt64("FM_FIG1_SIM_WALKERS", 0));
+  spec.num_walkers =
+      sim_walkers != 0 ? static_cast<Wid>(sim_walkers) : g.num_vertices();
   spec.keep_paths = false;
 
   CacheHierarchy knk_sim;  // paper cache geometry
@@ -82,6 +116,62 @@ void MissBreakdown(const char* name, const CsrGraph& g, BenchTrajectory* traj) {
         knk_run.stats.total_steps);
   print("FlashMob", "fig1b/flashmob", fm_sim.counters(),
         fm_run.stats.total_steps);
+
+  // Shuffle-stage attribution per backend: each backend replays its real
+  // access pattern through the simulator (WalkStats::sim_shuffle), so the two
+  // runs are directly comparable. fm_run already covered one backend; run the
+  // other.
+  EngineOptions other_options = PerfEngineOptions();
+  other_options.shuffle_backend = fm_run.stats.shuffle_backend == "direct"
+                                      ? ShuffleBackendKind::kBinned
+                                      : ShuffleBackendKind::kDirect;
+  CacheHierarchy other_sim;
+  FlashMobEngine other_engine(g, other_options);
+  WalkResult other_run = other_engine.RunInstrumented(spec, &other_sim);
+
+  auto shuffle_print = [&](const WalkResult& run) {
+    const CacheCounters& c = run.stats.sim_shuffle;
+    const uint64_t steps =
+        run.stats.total_steps == 0 ? 1 : run.stats.total_steps;
+    std::printf(
+        "  FlashMob shuffle [%-6s] %-4s  L1=%7.2f  L2=%6.3f  L3=%6.3f  "
+        "(misses/step)\n",
+        run.stats.shuffle_backend.c_str(), name,
+        static_cast<double>(c.misses[0]) / steps,
+        static_cast<double>(c.misses[1]) / steps,
+        static_cast<double>(c.misses[2]) / steps);
+    if (traj != nullptr) {
+      const char* levels[3] = {"L1", "L2", "L3"};
+      for (int l = 0; l < 3; ++l) {
+        traj->Add("fig1b/flashmob/shuffle-" + run.stats.shuffle_backend,
+                  std::string(name) + "/" + levels[l],
+                  static_cast<double>(c.misses[l]) / steps,
+                  "sim-misses/step");
+      }
+    }
+  };
+  shuffle_print(fm_run);
+  shuffle_print(other_run);
+
+  const WalkResult& direct_run =
+      fm_run.stats.shuffle_backend == "direct" ? fm_run : other_run;
+  const WalkResult& binned_run =
+      fm_run.stats.shuffle_backend == "direct" ? other_run : fm_run;
+  const uint64_t steps =
+      fm_run.stats.total_steps == 0 ? 1 : fm_run.stats.total_steps;
+  const double direct_llc =
+      static_cast<double>(direct_run.stats.sim_shuffle.misses[2]) / steps;
+  const double binned_llc =
+      static_cast<double>(binned_run.stats.sim_shuffle.misses[2]) / steps;
+  const uint64_t walker_bytes =
+      static_cast<uint64_t>(spec.num_walkers) * sizeof(Vid);
+  std::printf(
+      "  shuffle LLC misses/step: direct=%.3f binned=%.3f -> %s wins "
+      "(walker array %s %s the sim LLC; engine's pick: %s)\n",
+      direct_llc, binned_llc, binned_llc < direct_llc ? "binned" : "direct",
+      HumanBytes(walker_bytes).c_str(),
+      walker_bytes > PaperCacheInfo().l3_bytes ? "exceeds" : "fits in",
+      fm_run.stats.shuffle_backend.c_str());
 }
 
 }  // namespace
@@ -113,12 +203,48 @@ int main(int argc, char** argv) {
               HumanBytes(yt.CsrBytes()).c_str(), KnightKingPerStep(yt, "YT", tp));
   std::printf("  KnightKing  %-7s (%7s CSR): %8.1f ns/step\n", "YH",
               HumanBytes(yh.CsrBytes()).c_str(), KnightKingPerStep(yh, "YH", tp));
-  std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step\n", "YT",
-              HumanBytes(yt.CsrBytes()).c_str(), FlashMobPerStep(yt, "YT", tp));
-  std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step\n", "YH",
-              HumanBytes(yh.CsrBytes()).c_str(), FlashMobPerStep(yh, "YH", tp));
+  FlashMobRun yt_run =
+      FlashMobPerStep(yt, "YT", tp, "fig1a/flashmob", BenchShuffleBackend());
+  std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step  [shuffle=%s]\n",
+              "YT", HumanBytes(yt.CsrBytes()).c_str(), yt_run.ns,
+              yt_run.backend.c_str());
+  FlashMobRun yh_run =
+      FlashMobPerStep(yh, "YH", tp, "fig1a/flashmob", BenchShuffleBackend());
+  std::printf("  FlashMob    %-7s (%7s CSR): %8.1f ns/step  [shuffle=%s]\n",
+              "YH", HumanBytes(yh.CsrBytes()).c_str(), yh_run.ns,
+              yh_run.backend.c_str());
   std::printf(
       "\npaper: FlashMob on the 58GB YH graph ~= KnightKing on a 600KB (L2) toy\n");
+
+  // Backend duet: both shuffle paths on each dataset, flagging where the
+  // direct path wins (expected whenever the walker array stays LLC-resident —
+  // binned pays an extra pass over the record arena). Skipped when FM_SHUFFLE
+  // pins a backend: the pin means "measure exactly this one".
+  if (EnvString("FM_SHUFFLE", "auto") == "auto") {
+    std::printf("\n  shuffle backend duet (scatter+gather ns/step):\n");
+    struct Duet {
+      const char* name;
+      const CsrGraph* graph;
+      const FlashMobRun* auto_run;
+    } duets[] = {{"YT", &yt, &yt_run}, {"YH", &yh, &yh_run}};
+    for (const Duet& d : duets) {
+      FlashMobRun direct = FlashMobPerStep(*d.graph, d.name, tp,
+                                           "fig1a/flashmob-direct",
+                                           ShuffleBackendKind::kDirect);
+      FlashMobRun binned = FlashMobPerStep(*d.graph, d.name, tp,
+                                           "fig1a/flashmob-binned",
+                                           ShuffleBackendKind::kBinned);
+      const char* winner =
+          binned.shuffle_ns < direct.shuffle_ns ? "binned" : "direct";
+      std::printf("    %-4s direct=%8.1f  binned=%8.1f  winner=%-6s  auto "
+                  "picked %s%s\n",
+                  d.name, direct.shuffle_ns, binned.shuffle_ns, winner,
+                  d.auto_run->backend.c_str(),
+                  d.auto_run->backend == winner
+                      ? ""
+                      : "  [auto missed the measured winner on this config]");
+    }
+  }
 
   PrintHeader("Figure 1b: per-step cache misses (simulated, paper geometry)");
   MissBreakdown("YT", yt, tp);

@@ -17,15 +17,29 @@
 namespace fm {
 namespace {
 
-// Streaming-pass model for the shuffle stage under instrumentation: every cache
-// line of the array is touched exactly once per pass, which is the shuffle's actual
-// behaviour (sequential read of W; per-bin sequential write streams into SW whose
-// lines are each written once). See engine.h / DESIGN.md §3.
+// Streaming-pass model for placement under instrumentation: every cache line
+// of the array is touched exactly once. (The shuffle stage itself is no longer
+// modeled this way — each backend replays its real access pattern through
+// Shuffler::SimulateScatter/SimulateGather.)
 void TouchStreaming(CacheHierarchy* sim, const void* data, size_t bytes) {
   uint64_t addr = reinterpret_cast<uint64_t>(data);
   for (uint64_t off = 0; off < bytes; off += kCacheLineBytes) {
     sim->Access(addr + off, 1);
   }
+}
+
+// Folds (after - before) of the sim counters into *acc — the shuffle-stage
+// attribution WalkStats::sim_shuffle reports for instrumented runs.
+void AccumulateSimDelta(const CacheCounters& before, const CacheCounters& after,
+                        CacheCounters* acc) {
+  acc->accesses += after.accesses - before.accesses;
+  for (int i = 0; i < 4; ++i) {
+    acc->hits[i] += after.hits[i] - before.hits[i];
+  }
+  for (int i = 0; i < 3; ++i) {
+    acc->misses[i] += after.misses[i] - before.misses[i];
+  }
+  acc->dram_lines += after.dram_lines - before.dram_lines;
 }
 
 }  // namespace
@@ -180,7 +194,16 @@ WalkResult FlashMobEngine::RunImpl(
   };
 
   Timer other_timer;
-  Shuffler shuffler(&*plan_, pool);
+  // Shuffle backend: geometry and the auto recommendation come from the
+  // ShufflePlan computed against the same cache model as the partition plan.
+  const ShufflePlan shuffle_plan =
+      BuildShufflePlan(*plan_, graph_, std::min(total_walkers, episode_cap),
+                       options_.plan.cache, pool->thread_count());
+  ShuffleConfig shuffle_config;
+  shuffle_config.kind = options_.shuffle_backend;
+  shuffle_config.shuffle_plan = &shuffle_plan;
+  Shuffler shuffler(&*plan_, pool, shuffle_config);
+  result.stats.shuffle_backend = shuffler.backend_name();
   PresampleBuffers presample(graph_, *plan_);
   StepKernel<Hook> kernel(graph_, spec, *plan_, &presample, alias);
   const uint32_t num_vps = plan_->num_vps();
@@ -221,6 +244,7 @@ WalkResult FlashMobEngine::RunImpl(
     // ---- place: walker storage + initial positions ---------------------------
     other_timer.Start();
     WalkerState state(graph_, spec, w);
+    shuffler.AttachArena(state.shuffle_arena());
     for (WalkObserver* sink : sinks) {
       sink->OnEpisodeBegin(episode, w, base_walker);
     }
@@ -258,11 +282,18 @@ WalkResult FlashMobEngine::RunImpl(
             shuffler.dead_count());
         state.AfterScatter(aux);
         if constexpr (Hook::kEnabled) {
-          // Two passes over W (count + scatter), one over SW; aux doubles both.
+          // Replay the backend's real access pattern (count pass, buffer
+          // appends / direct scatter, SW writes) through the hierarchy.
           CacheHierarchy* sim = hook.sim();
-          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-          TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-          TouchStreaming(sim, state.sw(), w * sizeof(Vid));
+          const CacheCounters before = sim->counters();
+          shuffler.SimulateScatter(
+              state.cur(), aux, w, state.sw(),
+              aux != nullptr ? state.sw_prev() : nullptr,
+              [sim](const void* p, uint32_t bytes) {
+                sim->Access(reinterpret_cast<uint64_t>(p), bytes);
+              });
+          AccumulateSimDelta(before, sim->counters(),
+                             &result.stats.sim_shuffle);
         }
         scatter_s = shuffle_timer.Elapsed();
       }
@@ -329,7 +360,9 @@ WalkResult FlashMobEngine::RunImpl(
           span.Arg("live", live_walkers);
           Timer gather_timer;
           w_next = state.GatherTarget(step);
-          shuffler.Gather(state.cur(), w, state.sw(), w_next, nullptr, nullptr);
+          const Status gather_status = shuffler.Gather(
+              state.cur(), w, state.sw(), w_next, nullptr, nullptr);
+          FM_CHECK_MSG(gather_status.ok(), gather_status.message().c_str());
           // Dead-walker monotonicity: the gather delivers every walker the
           // scatter parked dead, plus any the sample stage just killed — the
           // dead population can only grow (a dead walker never resurrects).
@@ -338,9 +371,15 @@ WalkResult FlashMobEngine::RunImpl(
               shuffler.dead_count());
           if constexpr (Hook::kEnabled) {
             CacheHierarchy* sim = hook.sim();
-            TouchStreaming(sim, state.cur(), w * sizeof(Vid));
-            TouchStreaming(sim, state.sw(), w * sizeof(Vid));
-            TouchStreaming(sim, w_next, w * sizeof(Vid));
+            const CacheCounters before = sim->counters();
+            shuffler.SimulateGather(state.cur(), w, state.sw(), nullptr,
+                                    w_next, nullptr,
+                                    [sim](const void* p, uint32_t bytes) {
+                                      sim->Access(
+                                          reinterpret_cast<uint64_t>(p), bytes);
+                                    });
+            AccumulateSimDelta(before, sim->counters(),
+                               &result.stats.sim_shuffle);
           }
           gather_s = gather_timer.Elapsed();
         }
@@ -371,6 +410,15 @@ WalkResult FlashMobEngine::RunImpl(
         rec.scatter_s = scatter_s;
         rec.sample_s = sample_s;
         rec.gather_s = gather_s;
+        const ShuffleOpStats& sstats = shuffler.last_scatter_stats();
+        rec.scatter_pass1_s = sstats.pass1_s;
+        rec.scatter_pass2_s = sstats.pass2_s;
+        rec.flushed_lines = sstats.flushed_lines;
+        if (!identity_free) {
+          const ShuffleOpStats& gstats = shuffler.last_gather_stats();
+          rec.gather_pass1_s = gstats.pass1_s;
+          rec.gather_pass2_s = gstats.pass2_s;
+        }
         rec.live_walkers = live_walkers;
         rec.vp_walkers.resize(num_vps);
         for (uint32_t i = 0; i < num_vps; ++i) {

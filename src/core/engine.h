@@ -54,6 +54,14 @@ struct StepStageRecord {
   double scatter_s = 0;
   double sample_s = 0;
   double gather_s = 0;          // 0 in identity-free mode (no reverse shuffle)
+  // Shuffle-backend pass breakdown of scatter_s/gather_s (ShuffleOpStats):
+  // pass 1 is the count(+bin) pass, pass 2 the scatter / replay; flushed_lines
+  // counts the binned backend's full-cache-line buffer flushes (0 for direct).
+  double scatter_pass1_s = 0;
+  double scatter_pass2_s = 0;
+  double gather_pass1_s = 0;
+  double gather_pass2_s = 0;
+  uint64_t flushed_lines = 0;
   Wid live_walkers = 0;         // walkers the sample stage moved this step
   std::vector<Wid> vp_walkers;  // walkers per VP chunk this step
   // Hardware-counter deltas per stage, summed over all participating threads
@@ -96,6 +104,15 @@ struct WalkStats {
   StageCounters counters;
   std::string perf_backend;
 
+  // Name of the shuffle backend that ran ("direct"/"binned"; "" for engines
+  // without a shuffle stage). kAuto is resolved before the first step, so
+  // this always names a concrete backend.
+  std::string shuffle_backend;
+
+  // Simulated-cache counter deltas attributed to the shuffle stage (scatter +
+  // gather replays); only populated by RunInstrumented.
+  CacheCounters sim_shuffle;
+
   double PerStepNs() const {
     return total_steps == 0 ? 0 : times.Total() * 1e9 / static_cast<double>(total_steps);
   }
@@ -127,6 +144,9 @@ struct EngineOptions {
   // never a failure. Adds a few syscalls per stage boundary; leave off for
   // pure speed benchmarking.
   bool collect_counters = false;
+  // Shuffle backend selection (--shuffle=direct|binned|auto). kAuto defers to
+  // the ShufflePlan recommendation computed next to the partition plan.
+  ShuffleBackendKind shuffle_backend = ShuffleBackendKind::kAuto;
   // Optional live heartbeat (src/util/trace.h). Driven from the engine's
   // per-step barrier on the calling thread — no extra thread, one call per
   // step. Must outlive Run.

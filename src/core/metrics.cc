@@ -126,6 +126,9 @@ std::string WalkMetricsJson(const MetricsMeta& meta, const WalkStats& stats,
   AppendKey(&out, "walker_density");
   out += NumberToJson(stats.walker_density);
   out += ',';
+  AppendKey(&out, "shuffle_backend");
+  AppendEscaped(&out, stats.shuffle_backend);
+  out += ',';
   AppendKey(&out, "per_step_ns");
   out += NumberToJson(stats.PerStepNs());
   out += ',';
@@ -220,6 +223,21 @@ std::string WalkMetricsJson(const MetricsMeta& meta, const WalkStats& stats,
     out += ',';
     AppendKey(&out, "gather_s");
     out += NumberToJson(rec.gather_s);
+    out += ',';
+    AppendKey(&out, "scatter_pass1_s");
+    out += NumberToJson(rec.scatter_pass1_s);
+    out += ',';
+    AppendKey(&out, "scatter_pass2_s");
+    out += NumberToJson(rec.scatter_pass2_s);
+    out += ',';
+    AppendKey(&out, "gather_pass1_s");
+    out += NumberToJson(rec.gather_pass1_s);
+    out += ',';
+    AppendKey(&out, "gather_pass2_s");
+    out += NumberToJson(rec.gather_pass2_s);
+    out += ',';
+    AppendKey(&out, "flushed_lines");
+    out += std::to_string(rec.flushed_lines);
     out += ',';
     AppendKey(&out, "live_walkers");
     out += std::to_string(rec.live_walkers);

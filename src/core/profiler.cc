@@ -94,7 +94,9 @@ double MeasureShuffleNsPerWalker(uint64_t seed) {
   const uint32_t iterations = 5;
   for (uint32_t it = 0; it < iterations; ++it) {
     shuffler.Scatter(w.data(), nullptr, walkers, sw.data(), nullptr);
-    shuffler.Gather(w.data(), walkers, sw.data(), w_next.data(), nullptr, nullptr);
+    const Status st = shuffler.Gather(w.data(), walkers, sw.data(),
+                                      w_next.data(), nullptr, nullptr);
+    FM_CHECK_MSG(st.ok(), st.message());
   }
   return timer.ElapsedNanos() / (static_cast<double>(iterations) * walkers);
 }

@@ -1,0 +1,44 @@
+// Minimal structured error value for module-boundary failures that must not
+// abort even in release builds (the FM_CHECK family is for invariants the
+// caller cannot trigger; Status is for contract violations a caller can).
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fm {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+};
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace fm
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -70,10 +70,12 @@ struct RunDigest {
 };
 
 RunDigest RunWith(const CsrGraph& g, uint32_t threads, WalkAlgorithm algorithm,
-                  double stop_probability) {
+                  double stop_probability,
+                  ShuffleBackendKind backend = ShuffleBackendKind::kAuto) {
   ThreadPool pool(threads);
   EngineOptions options;
   options.pool = &pool;
+  options.shuffle_backend = backend;
   // Pin the plan config: threads_sharing_l3 feeds the planner's cache-level
   // classification, and the engine would otherwise default it to the pool
   // size, changing the plan (and hence the RNG stream layout) across runs.
@@ -127,6 +129,27 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(algo) +
              (std::get<1>(info.param) == 0.0 ? "_stop0" : "_stop15");
     });
+
+TEST_P(DeterminismTest, BinnedShuffleMatchesDirectAcrossThreadCounts) {
+  // The shuffle backend must be invisible to walk content: the binned path
+  // reproduces the direct SW layout bit-for-bit, so paths and visit counts —
+  // node2vec's predecessor stream included — must hash identically across
+  // backends at every thread count.
+  auto [algorithm, stop] = GetParam();
+  CsrGraph g = BuildGraph();
+  uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
+  RunDigest reference =
+      RunWith(g, 1, algorithm, stop, ShuffleBackendKind::kDirect);
+  ASSERT_NE(reference.path_hash, 0u);
+  for (uint32_t threads : {1u, 4u, hw}) {
+    RunDigest binned =
+        RunWith(g, threads, algorithm, stop, ShuffleBackendKind::kBinned);
+    EXPECT_EQ(binned.path_hash, reference.path_hash)
+        << "binned PathSet diverged from direct at threads=" << threads;
+    EXPECT_EQ(binned.counts, reference.counts)
+        << "binned visit counts diverged from direct at threads=" << threads;
+  }
+}
 
 TEST(DeterminismTest, RepeatedRunsWithSamePoolAreIdentical) {
   // Same engine, same spec, run twice: episode state (presample cursors, RNG

@@ -37,6 +37,9 @@
 //                     the dropped-span count; driven from the engine's per-step
 //                     barrier (no extra thread)
 //   --threads=N       worker threads (default: all cores; or FM_THREADS)
+//   --shuffle=K       shuffle backend: direct (two-pass counting), binned
+//                     (propagation-blocking radix bins), or auto (default —
+//                     the ShufflePlan picks per run)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -71,6 +74,7 @@ struct Args {
   double progress_interval_s = 10.0;
   bool stats = false;
   bool profile = false;
+  ShuffleBackendKind shuffle = ShuffleBackendKind::kAuto;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -90,7 +94,8 @@ int Usage(const char* self) {
                "[--weighted] [--stop=F]\n"
                "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
                "[--profile] [--metrics-json=metrics.json]\n"
-               "  [--trace-json=trace.json] [--progress[=SECONDS]]\n",
+               "  [--trace-json=trace.json] [--progress[=SECONDS]] "
+               "[--shuffle=direct|binned|auto]\n",
                self);
   return 2;
 }
@@ -145,6 +150,11 @@ int main(int argc, char** argv) {
       args.stats = true;
     } else if (std::strcmp(a, "--profile") == 0) {
       args.profile = true;
+    } else if (ParseFlag(a, "--shuffle", &value)) {
+      if (!ParseShuffleBackendName(value, &args.shuffle)) {
+        std::fprintf(stderr, "bad --shuffle value: %s\n", value.c_str());
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       return Usage(argv[0]);
@@ -212,6 +222,7 @@ int main(int argc, char** argv) {
     EngineOptions engine_options;
     engine_options.record_step_stats = args.profile || !args.metrics_path.empty();
     engine_options.collect_counters = !args.metrics_path.empty();
+    engine_options.shuffle_backend = args.shuffle;
     ProgressReporter progress(args.progress_interval_s);
     if (args.progress) {
       engine_options.progress = &progress;
@@ -235,10 +246,12 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "walked %llu steps in %.2fs: %.1f ns/step "
-                 "(sample %.2fs, shuffle %.2fs, other %.2fs, %u episodes)\n",
+                 "(sample %.2fs, shuffle %.2fs [%s], other %.2fs, "
+                 "%u episodes)\n",
                  static_cast<unsigned long long>(result.stats.total_steps),
                  result.stats.times.Total(), result.stats.PerStepNs(),
                  result.stats.times.sample_s, result.stats.times.shuffle_s,
+                 result.stats.shuffle_backend.c_str(),
                  result.stats.times.other_s, result.stats.episodes);
 
     // ---- output ------------------------------------------------------------------
