@@ -75,6 +75,73 @@ FlashMobRun FlashMobPerStep(const CsrGraph& g, const char* point,
   return run;
 }
 
+// Interleave depth sweep (fig1c series): both engines at ring depths
+// {1,4,8,16} plus "auto", on one dataset. The FlashMob rows carry hardware
+// counter samples (IPC / LLC-misses-per-step deltas when the perf backend is
+// live); the printout flags the auto model's pick against the measured
+// winner, mirroring the shuffle duet's honesty contract.
+void InterleaveSweep(const CsrGraph& g, const char* point,
+                     BenchTrajectory* traj) {
+  const InterleavePlan auto_plan =
+      BuildInterleavePlan(kInterleaveDepthAuto, DetectCacheInfo());
+  std::printf("\n  interleave depth sweep on %s (%s):\n", point,
+              auto_plan.Describe().c_str());
+  struct Row {
+    const char* label;
+    uint32_t depth;  // kInterleaveDepthAuto = resolve from cache geometry
+  } rows[] = {{"d1", 1}, {"d4", 4}, {"d8", 8}, {"d16", 16},
+              {"auto", kInterleaveDepthAuto}};
+  double best_ns = 0;
+  uint32_t best_depth = 0;
+  for (const Row& row : rows) {
+    EngineOptions options = PerfEngineOptions();
+    options.interleave_depth = row.depth;
+    options.collect_counters = traj != nullptr;
+    FlashMobEngine engine(g, options);
+    WalkResult result = engine.Run(PaddedSpec(g));
+    const double fm_ns = result.stats.PerStepNs();
+    const uint32_t resolved = result.stats.interleave_depth;
+
+    BaselineOptions base;
+    base.count_visits = false;
+    base.use_mersenne = false;  // the per-walker-stream path the ring needs
+    base.interleave_depth = row.depth == kInterleaveDepthAuto
+                                ? auto_plan.depth
+                                : row.depth;
+    KnightKingEngine knk(g, base);
+    const double knk_ns = knk.Run(PaddedSpec(g)).stats.PerStepNs();
+
+    std::printf("    %-5s (depth %2u)  flashmob=%8.1f  knightking=%8.1f "
+                "ns/step\n",
+                row.label, resolved, fm_ns, knk_ns);
+    if (traj != nullptr) {
+      const std::string pt = std::string(point) + "/" + row.label;
+      traj->Add("fig1c/flashmob-interleave", pt, fm_ns, "ns/step");
+      traj->Add("fig1c/knightking-interleave", pt, knk_ns, "ns/step");
+      traj->AddCounters("fig1c/flashmob-interleave/" + pt,
+                        result.stats.counters.Total());
+    }
+    // Winner over the pinned depths only; the auto row re-measures one of
+    // them and would double-count timing noise.
+    if (row.depth != kInterleaveDepthAuto &&
+        (best_depth == 0 || fm_ns < best_ns)) {
+      best_ns = fm_ns;
+      best_depth = row.depth;
+    }
+  }
+  std::printf("    plan pick: depth %u, measured winner: depth %u%s\n",
+              auto_plan.depth, best_depth,
+              auto_plan.depth == best_depth
+                  ? ""
+                  : "  [auto missed the measured winner on this config]");
+  if (traj != nullptr) {
+    traj->Add("fig1c/plan", std::string(point) + "/picked",
+              static_cast<double>(auto_plan.depth), "depth");
+    traj->Add("fig1c/plan", std::string(point) + "/winner",
+              static_cast<double>(best_depth), "depth");
+  }
+}
+
 void MissBreakdown(const char* name, const CsrGraph& g, BenchTrajectory* traj) {
   WalkSpec spec;
   spec.steps = static_cast<uint32_t>(EnvInt64("FM_FIG1_SIM_STEPS", 6));
@@ -245,6 +312,9 @@ int main(int argc, char** argv) {
                       : "  [auto missed the measured winner on this config]");
     }
   }
+
+  PrintHeader("Figure 1c: step-interleaving depth sweep (DeepWalk)");
+  InterleaveSweep(yt, "YT", tp);
 
   PrintHeader("Figure 1b: per-step cache misses (simulated, paper geometry)");
   MissBreakdown("YT", yt, tp);

@@ -84,15 +84,46 @@ void BM_SampleKernel(benchmark::State& state) {
   for (auto& w : sw) {
     w = static_cast<Vid>(init.NextBounded(vertices));
   }
-  XorShiftRng rng(2);
   NullMemHook hook;
+  uint64_t chunk_seed = 2;
   for (auto _ : state) {
     SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, sw.data(), walkers, 0.0,
-                       nullptr, rng, hook);
+                       nullptr, chunk_seed++, hook);
   }
   state.SetItemsProcessed(state.iterations() * walkers);
 }
 BENCHMARK(BM_SampleKernel)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// range(0) = interleave depth. Same setup as BM_SampleKernel's DS leg, run
+// through the ring executor — the depth sweep shows the fill-buffer knee.
+void BM_SampleKernelInterleaved(benchmark::State& state) {
+  const uint32_t depth = static_cast<uint32_t>(state.range(0));
+  Vid vertices = 1 << 13;
+  Degree degree = 16;
+  CsrGraph g = GenerateUniformDegreeGraph(vertices, degree, 1, vertices);
+  PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
+  PresampleBuffers buffers(g, plan);
+  Wid walkers = vertices * degree;
+  std::vector<Vid> sw(walkers);
+  XorShiftRng init(1);
+  for (auto& w : sw) {
+    w = static_cast<Vid>(init.NextBounded(vertices));
+  }
+  NullMemHook hook;
+  uint64_t chunk_seed = 2;
+  for (auto _ : state) {
+    SampleVpFirstOrderInterleaved(g, 0, plan.vp(0), &buffers, sw.data(),
+                                  walkers, 0.0, nullptr, chunk_seed++, depth,
+                                  hook);
+  }
+  state.SetItemsProcessed(state.iterations() * walkers);
+}
+BENCHMARK(BM_SampleKernelInterleaved)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 // range(0) = partitions, range(1) = 0 direct / 1 binned.
 void BM_ShuffleRoundTrip(benchmark::State& state) {

@@ -18,6 +18,12 @@ struct BaselineOptions {
   ThreadPool* pool = nullptr;    // nullptr = global
   bool use_mersenne = true;      // KnightKing's RNG (§5.2); false = xorshift*
   bool count_visits = true;
+  // Step-interleaving ring depth (src/core/interleave.h), honored on the
+  // xorshift path only: that path seeds one RNG stream per walker, which makes
+  // walks bit-identical at every depth. The Mersenne path keeps the historical
+  // per-chunk stream (re-seeding a 2.5 KB mt19937_64 state per walker would
+  // dominate the step) and always runs sequentially. 1 disables.
+  uint32_t interleave_depth = 1;
 };
 
 class KnightKingEngine {

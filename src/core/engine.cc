@@ -199,11 +199,26 @@ WalkResult FlashMobEngine::RunImpl(
   const ShufflePlan shuffle_plan =
       BuildShufflePlan(*plan_, graph_, std::min(total_walkers, episode_cap),
                        options_.plan.cache, pool->thread_count());
+  // Sample-stage interleave depth: resolved once per Run against the same
+  // cache geometry (auto = fill-buffer model). The cache simulation models the
+  // demand-access pattern only — prefetch hints are not simulated — so
+  // instrumented runs pin the ring to depth 1 to keep sim results comparable.
+  const InterleavePlan interleave_plan =
+      BuildInterleavePlan(options_.interleave_depth, options_.plan.cache);
+  const uint32_t ring_depth = Hook::kEnabled ? 1 : interleave_plan.depth;
+  result.stats.interleave_depth = ring_depth;
+  result.stats.interleave_auto = interleave_plan.from_auto;
   ShuffleConfig shuffle_config;
   shuffle_config.kind = options_.shuffle_backend;
   shuffle_config.shuffle_plan = &shuffle_plan;
+  // The shuffle's scatter/gather destination prefetch rides the same knob:
+  // depth 1 (sequential sampling) also turns the look-ahead off.
+  shuffle_config.prefetch_lookahead = ring_depth <= 1 ? 0 : ring_depth;
   Shuffler shuffler(&*plan_, pool, shuffle_config);
   result.stats.shuffle_backend = shuffler.backend_name();
+  // Per-worker prefetch-issue shards, folded once per VP task (never inside
+  // the ring) and merged into WalkStats at the end of the run.
+  std::vector<InterleaveStats> prefetch_shards(pool->thread_count());
   PresampleBuffers presample(graph_, *plan_);
   StepKernel<Hook> kernel(graph_, spec, *plan_, &presample, alias);
   const uint32_t num_vps = plan_->num_vps();
@@ -298,6 +313,8 @@ WalkResult FlashMobEngine::RunImpl(
         scatter_s = shuffle_timer.Elapsed();
       }
       result.stats.times.shuffle_s += scatter_s;
+      result.stats.prefetch.shuffle +=
+          shuffler.last_scatter_stats().prefetch_issues;
       const CounterSample scatter_counters = perf_delta();
       result.stats.counters.scatter += scatter_counters;
 
@@ -322,12 +339,13 @@ WalkResult FlashMobEngine::RunImpl(
           vp_span.Arg("step", step);
           vp_span.Arg("vp", vp_i);
           vp_span.Arg("walkers", end - begin);
-          XorShiftRng rng(DeriveSeed(
+          const uint64_t chunk_seed = DeriveSeed(
               spec.seed, 0x5A3FULL ^ (episode << 44) ^
-                             (static_cast<uint64_t>(step) << 24) ^ vp_i));
+                             (static_cast<uint64_t>(step) << 24) ^ vp_i);
           kernel.SampleVp(static_cast<uint32_t>(vp_i), sw + begin,
                           sw_prev != nullptr ? sw_prev + begin : nullptr,
-                          end - begin, spec.stop_probability, rng, hook);
+                          end - begin, spec.stop_probability, chunk_seed,
+                          ring_depth, hook, &prefetch_shards[worker]);
           std::span<const Vid> chunk(sw + begin, end - begin);
           for (WalkObserver* sink : sinks) {
             sink->OnSampleChunk(step, static_cast<uint32_t>(vp_i), chunk,
@@ -384,6 +402,8 @@ WalkResult FlashMobEngine::RunImpl(
           gather_s = gather_timer.Elapsed();
         }
         result.stats.times.shuffle_s += gather_s;
+        result.stats.prefetch.shuffle +=
+            shuffler.last_gather_stats().prefetch_issues;
         gather_counters = perf_delta();
         result.stats.counters.gather += gather_counters;
 
@@ -449,6 +469,9 @@ WalkResult FlashMobEngine::RunImpl(
   }
 
   other_timer.Start();
+  for (const InterleaveStats& shard : prefetch_shards) {
+    result.stats.prefetch += shard;
+  }
   for (WalkObserver* sink : sinks) {
     sink->OnRunEnd();
   }

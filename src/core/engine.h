@@ -25,6 +25,7 @@
 
 #include "src/cachesim/hierarchy.h"
 #include "src/core/cost_model.h"
+#include "src/core/interleave.h"
 #include "src/core/partition_plan.h"
 #include "src/core/path_set.h"
 #include "src/core/walk_spec.h"
@@ -109,6 +110,14 @@ struct WalkStats {
   // this always names a concrete backend.
   std::string shuffle_backend;
 
+  // Step-interleaving (src/core/interleave.h): the concrete ring depth the
+  // sample stage ran with (1 = sequential; auto is resolved before the first
+  // step), whether it came from the cache-geometry model, and the software
+  // prefetches issued by request type across the whole run.
+  uint32_t interleave_depth = 1;
+  bool interleave_auto = false;
+  InterleaveStats prefetch;
+
   // Simulated-cache counter deltas attributed to the shuffle stage (scatter +
   // gather replays); only populated by RunInstrumented.
   CacheCounters sim_shuffle;
@@ -147,6 +156,13 @@ struct EngineOptions {
   // Shuffle backend selection (--shuffle=direct|binned|auto). kAuto defers to
   // the ShufflePlan recommendation computed next to the partition plan.
   ShuffleBackendKind shuffle_backend = ShuffleBackendKind::kAuto;
+  // Sample-stage ring size (--interleave=auto|N): in-flight walkers per worker
+  // with software prefetch between them. kInterleaveDepthAuto (0) resolves
+  // from plan.cache geometry (BuildInterleavePlan); 1 disables interleaving.
+  // Walks are bit-identical at every depth — per-walker RNG streams make the
+  // knob a pure performance choice. The same resolved depth also drives the
+  // shuffle backends' scatter/gather prefetch look-ahead.
+  uint32_t interleave_depth = kInterleaveDepthAuto;
   // Optional live heartbeat (src/util/trace.h). Driven from the engine's
   // per-step barrier on the calling thread — no extra thread, one call per
   // step. Must outlive Run.

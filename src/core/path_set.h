@@ -47,6 +47,13 @@ class PathSet {
   // stay-in-place steps allowed when the vertex has no out-edges).
   bool ValidAgainst(const CsrGraph& graph) const;
 
+  // True when both sets store exactly the same walk (same dimensions, every
+  // position bit-identical) — the equality the determinism tests assert.
+  bool SameAs(const PathSet& other) const {
+    return num_walkers_ == other.num_walkers_ && steps_ == other.steps_ &&
+           rows_ == other.rows_;
+  }
+
   // Appends another PathSet with the same step count (episodes, §5.1).
   void Append(PathSet&& other);
 

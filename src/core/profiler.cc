@@ -40,9 +40,9 @@ double MeasureSamplePointNs(Vid vp_vertices, Degree degree, double density,
   const VertexPartition& vp = plan.vp(0);
   // Warm-up iteration populates PS buffers, then measure enough iterations to
   // cover timer resolution.
-  XorShiftRng rng(DeriveSeed(seed, 0x5A17));
+  const uint64_t chunk_seed = DeriveSeed(seed, 0x5A17);
   SampleVpFirstOrder(graph, 0, vp, &presample, sw.data(), walkers, 0.0, nullptr,
-                     rng, hook);
+                     chunk_seed, hook);
   uint32_t iterations = min_iterations;
   // Target ~20M walker-steps per measurement, bounded for huge VPs.
   uint64_t target_steps = 20'000'000;
@@ -63,8 +63,8 @@ double MeasureSamplePointNs(Vid vp_vertices, Degree degree, double density,
       sink += flush[i];
     }
     Timer timer;
-    SampleVpFirstOrder(graph, 0, vp, &presample, sw.data(), walkers, 0.0, nullptr,
-                       rng, hook);
+    SampleVpFirstOrder(graph, 0, vp, &presample, sw.data(), walkers, 0.0,
+                       nullptr, DeriveSeed(chunk_seed, it + 1), hook);
     timed_ns += timer.ElapsedNanos();
   }
   if (sink == 0xDEADBEEF) {

@@ -1,9 +1,11 @@
 #include "src/core/shuffle.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <sstream>
 
+#include "src/core/interleave.h"
 #include "src/util/logging.h"
 #include "src/util/sync.h"
 #include "src/util/timer.h"
@@ -64,11 +66,21 @@ FM_HOT_PATH void CountChunkScan(const PartitionPlan* plan, uint32_t num_vps,
 }
 
 // Pass-2 kernel (direct path): counting scatter of one chunk of W into SW.
-FM_HOT_PATH void ScatterChunkScan(const PartitionPlan* plan, uint32_t num_vps,
-                                  const Vid* w, const Vid* aux, Wid begin,
-                                  Wid end, Wid* offs, const Wid* vp_offsets,
-                                  Vid* sw, Vid* sw_aux) {
+// `lookahead` > 0 prefetches walker j+k's destination while writing walker
+// j's: the per-bin cursors advance sequentially, so the line behind the
+// *current* cursor is (or immediately precedes) the true target line — a pure
+// hint, the layout is identical either way. Returns the prefetches issued.
+FM_HOT_PATH uint64_t ScatterChunkScan(const PartitionPlan* plan,
+                                      uint32_t num_vps, const Vid* w,
+                                      const Vid* aux, Wid begin, Wid end,
+                                      Wid* offs, const Wid* vp_offsets, Vid* sw,
+                                      Vid* sw_aux, uint32_t lookahead) {
+  uint64_t issued = 0;
   for (Wid j = begin; j < end; ++j) {
+    if (lookahead != 0 && j + lookahead < end) {
+      PrefetchWrite(sw + offs[BinOfWalker(plan, num_vps, w[j + lookahead])]);
+      ++issued;
+    }
     uint32_t bin = BinOfWalker(plan, num_vps, w[j]);
     Wid p = offs[bin]++;
     FM_DCHECK_LT(p, vp_offsets[bin + 1]);
@@ -77,6 +89,7 @@ FM_HOT_PATH void ScatterChunkScan(const PartitionPlan* plan, uint32_t num_vps,
       sw_aux[p] = aux[j];
     }
   }
+  return issued;
 }
 
 // Outer-pass kernel (two-level path): scatter one chunk of W by outer bin into
@@ -123,12 +136,22 @@ FM_HOT_PATH void InnerScatterGroupScan(const PartitionPlan* plan,
 // Gather kernel: replay one chunk's counting offsets, pulling each walker's
 // post-step value out of SW back into walker order. `consumed` is the debug
 // bijectivity witness (null in release builds).
-FM_HOT_PATH void GatherChunkScan(const PartitionPlan* plan, uint32_t num_vps,
-                                 const Vid* w_prev, Wid begin, Wid end,
-                                 Wid* offs, Wid n, const Vid* sw,
-                                 const Vid* sw_aux, Vid* w_next, Vid* aux_next,
-                                 [[maybe_unused]] uint8_t* consumed) {
+FM_HOT_PATH uint64_t GatherChunkScan(const PartitionPlan* plan,
+                                     uint32_t num_vps, const Vid* w_prev,
+                                     Wid begin, Wid end, Wid* offs, Wid n,
+                                     const Vid* sw, const Vid* sw_aux,
+                                     Vid* w_next, Vid* aux_next,
+                                     [[maybe_unused]] uint8_t* consumed,
+                                     uint32_t lookahead) {
+  uint64_t issued = 0;
   for (Wid j = begin; j < end; ++j) {
+    if (lookahead != 0 && j + lookahead < end) {
+      // Same cursor-line approximation as the scatter look-ahead, but a read:
+      // the replay pulls sw[p] back into walker order.
+      PrefetchRead(sw +
+                   offs[BinOfWalker(plan, num_vps, w_prev[j + lookahead])]);
+      ++issued;
+    }
     Wid p = offs[BinOfWalker(plan, num_vps, w_prev[j])]++;
     FM_DCHECK_LT(p, n);
 #ifndef NDEBUG
@@ -140,6 +163,7 @@ FM_HOT_PATH void GatherChunkScan(const PartitionPlan* plan, uint32_t num_vps,
       aux_next[j] = sw_aux[p];
     }
   }
+  return issued;
 }
 
 // -- binned-backend kernels ---------------------------------------------------
@@ -222,12 +246,19 @@ FM_HOT_PATH void BinChunkScan(const PartitionPlan* plan,
 // record segment into its SW range. Records are in W-scan order, and `offs`
 // starts from the same per-(chunk, vp) table the direct path uses, so the
 // resulting layout is bit-identical to the direct scatter.
-FM_HOT_PATH void SegmentScatterScan(const PartitionPlan* plan, uint32_t num_vps,
-                                    uint32_t vp_lo, const Vid* rec,
-                                    const Vid* aux_rec, Wid len, Wid* offs,
-                                    const Wid* vp_offsets, Vid* sw,
-                                    Vid* sw_aux) {
+FM_HOT_PATH uint64_t SegmentScatterScan(const PartitionPlan* plan,
+                                        uint32_t num_vps, uint32_t vp_lo,
+                                        const Vid* rec, const Vid* aux_rec,
+                                        Wid len, Wid* offs,
+                                        const Wid* vp_offsets, Vid* sw,
+                                        Vid* sw_aux, uint32_t lookahead) {
+  uint64_t issued = 0;
   for (Wid i = 0; i < len; ++i) {
+    if (lookahead != 0 && i + lookahead < len) {
+      PrefetchWrite(
+          sw + offs[BinOfWalker(plan, num_vps, rec[i + lookahead]) - vp_lo]);
+      ++issued;
+    }
     const Vid v = rec[i];
     const uint32_t vp = BinOfWalker(plan, num_vps, v);
     FM_DCHECK_GE(vp, vp_lo);
@@ -238,18 +269,26 @@ FM_HOT_PATH void SegmentScatterScan(const PartitionPlan* plan, uint32_t num_vps,
       sw_aux[p] = aux_rec[i];
     }
   }
+  return issued;
 }
 
 // Binned gather phase A: replay one (chunk, bin) segment's counting offsets
 // against the (sample-updated) SW and stage each walker's new value next to
 // its record slot. All SW reads stay inside the bin's cache-resident span.
-FM_HOT_PATH void GatherSegmentScan(const PartitionPlan* plan, uint32_t num_vps,
-                                   uint32_t vp_lo, const Vid* rec, Wid len,
-                                   Wid* offs, Wid n, const Vid* sw,
-                                   const Vid* sw_aux, Vid* values,
-                                   Vid* aux_values,
-                                   [[maybe_unused]] uint8_t* consumed) {
+FM_HOT_PATH uint64_t GatherSegmentScan(const PartitionPlan* plan,
+                                       uint32_t num_vps, uint32_t vp_lo,
+                                       const Vid* rec, Wid len, Wid* offs,
+                                       Wid n, const Vid* sw, const Vid* sw_aux,
+                                       Vid* values, Vid* aux_values,
+                                       [[maybe_unused]] uint8_t* consumed,
+                                       uint32_t lookahead) {
+  uint64_t issued = 0;
   for (Wid i = 0; i < len; ++i) {
+    if (lookahead != 0 && i + lookahead < len) {
+      PrefetchRead(
+          sw + offs[BinOfWalker(plan, num_vps, rec[i + lookahead]) - vp_lo]);
+      ++issued;
+    }
     const uint32_t vp = BinOfWalker(plan, num_vps, rec[i]);
     FM_DCHECK_GE(vp, vp_lo);
     Wid p = offs[vp - vp_lo]++;
@@ -263,18 +302,27 @@ FM_HOT_PATH void GatherSegmentScan(const PartitionPlan* plan, uint32_t num_vps,
       aux_values[i] = sw_aux[p];
     }
   }
+  return issued;
 }
 
 // Binned gather phase B: re-scan one chunk of W_prev in order, consuming each
 // walker's staged value from its bin's region cursor — the same append order
 // pass 1 produced, so walker j gets exactly its own SW slot's value.
-FM_HOT_PATH void GatherMergeScan(const PartitionPlan* plan,
-                                 const uint32_t* vp_to_bin, uint32_t num_vps,
-                                 const Vid* w_prev, Wid begin, Wid end,
-                                 Wid* cursor, const Vid* values,
-                                 const Vid* aux_values, Vid* w_next,
-                                 Vid* aux_next) {
+FM_HOT_PATH uint64_t GatherMergeScan(const PartitionPlan* plan,
+                                     const uint32_t* vp_to_bin,
+                                     uint32_t num_vps, const Vid* w_prev,
+                                     Wid begin, Wid end, Wid* cursor,
+                                     const Vid* values, const Vid* aux_values,
+                                     Vid* w_next, Vid* aux_next,
+                                     uint32_t lookahead) {
+  uint64_t issued = 0;
   for (Wid j = begin; j < end; ++j) {
+    if (lookahead != 0 && j + lookahead < end) {
+      PrefetchRead(
+          values +
+          cursor[vp_to_bin[BinOfWalker(plan, num_vps, w_prev[j + lookahead])]]);
+      ++issued;
+    }
     const uint32_t b = vp_to_bin[BinOfWalker(plan, num_vps, w_prev[j])];
     const Wid p = cursor[b]++;
     w_next[j] = values[p];
@@ -282,6 +330,7 @@ FM_HOT_PATH void GatherMergeScan(const PartitionPlan* plan,
       aux_next[j] = aux_values[p];
     }
   }
+  return issued;
 }
 
 }  // namespace
@@ -350,13 +399,17 @@ class DirectShuffleBackend : public ShuffleBackend {
     Timer timer;
     CountAndPrefix(w, n);
     scatter_stats_.pass1_s = timer.Lap();
+    uint64_t issued = 0;
     if (plan_->has_internal_shuffle()) {
+      // Two-level escalation: no look-ahead (the outer pass streams and the
+      // inner pass is already cache-resident per group).
       ScatterTwoLevel(w, aux, n, sw, sw_aux);
     } else {
-      ScatterDirect(w, aux, n, sw, sw_aux);
+      issued = ScatterDirect(w, aux, n, sw, sw_aux);
     }
     scatter_stats_.pass2_s = timer.Lap();
     scatter_stats_.flushed_lines = 0;
+    scatter_stats_.prefetch_issues = issued;
   }
 
   [[nodiscard]] Status Gather(const Vid* w_prev, Wid n, const Vid* sw,
@@ -376,6 +429,7 @@ class DirectShuffleBackend : public ShuffleBackend {
     // corrupted replay trips the check (or TSan, which reports it first).
     std::vector<uint8_t> consumed(n, 0);
 #endif
+    std::atomic<uint64_t> issued{0};
     pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
       Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
       Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
@@ -389,11 +443,18 @@ class DirectShuffleBackend : public ShuffleBackend {
 #else
       uint8_t* consumed_ptr = nullptr;
 #endif
-      GatherChunkScan(plan_, num_vps_, w_prev, begin, end, offs.data(), n, sw,
-                      sw_aux, w_next, aux_next, consumed_ptr);
+      const uint64_t chunk_issued =
+          GatherChunkScan(plan_, num_vps_, w_prev, begin, end, offs.data(), n,
+                          sw, sw_aux, w_next, aux_next, consumed_ptr,
+                          prefetch_lookahead_);
+      // relaxed: independent per-chunk counter folds; the ParallelFor join
+      // publishes the total.
+      issued.fetch_add(chunk_issued, std::memory_order_relaxed);
     });
     gather_stats_.pass1_s = 0;
     gather_stats_.pass2_s = timer.Lap();
+    // relaxed: read after the ParallelFor join; no concurrent writers remain.
+    gather_stats_.prefetch_issues = issued.load(std::memory_order_relaxed);
     return Status::Ok();
   }
 
@@ -417,9 +478,10 @@ class DirectShuffleBackend : public ShuffleBackend {
   }
 
  private:
-  void ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
-                     Vid* sw_aux) {
+  uint64_t ScatterDirect(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                         Vid* sw_aux) {
     size_t row = num_vps_ + 1;
+    std::atomic<uint64_t> issued{0};
     pool_->ParallelFor(num_chunks_, [&](uint64_t c, uint32_t) {
       Wid begin = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c));
       Wid end = ChunkBegin(n, num_chunks_, static_cast<uint32_t>(c) + 1);
@@ -429,9 +491,16 @@ class DirectShuffleBackend : public ShuffleBackend {
       // Working copy so starts_ stays intact for Gather's replay.
       std::vector<Wid> offs(starts_.begin() + c * row,
                             starts_.begin() + (c + 1) * row);
-      ScatterChunkScan(plan_, num_vps_, w, aux, begin, end, offs.data(),
-                       vp_offsets_.data(), sw, sw_aux);
+      const uint64_t chunk_issued =
+          ScatterChunkScan(plan_, num_vps_, w, aux, begin, end, offs.data(),
+                           vp_offsets_.data(), sw, sw_aux,
+                           prefetch_lookahead_);
+      // relaxed: independent per-chunk counter folds; the ParallelFor join
+      // publishes the total.
+      issued.fetch_add(chunk_issued, std::memory_order_relaxed);
     });
+    // relaxed: read after the ParallelFor join; no concurrent writers remain.
+    return issued.load(std::memory_order_relaxed);
   }
 
   void ScatterTwoLevel(const Vid* w, const Vid* aux, Wid n, Vid* sw,
@@ -734,13 +803,20 @@ class BinnedShuffleBackend : public ShuffleBackend {
     });
     scatter_stats_.pass1_s = timer.Lap();
 
+    std::atomic<uint64_t> issued{0};
     pool_->ParallelFor(bstride, [&](uint64_t b, uint32_t) {
       TraceSpan span("shuffle", "segment_scatter");
       span.Arg("bin", b);
-      ScatterBin(static_cast<uint32_t>(b), sw, sw_aux);
+      const uint64_t bin_issued = ScatterBin(static_cast<uint32_t>(b), sw,
+                                             sw_aux);
+      // relaxed: independent per-bin counter folds; the ParallelFor join
+      // publishes the total.
+      issued.fetch_add(bin_issued, std::memory_order_relaxed);
     });
     scatter_stats_.pass2_s = timer.Lap();
     scatter_stats_.flushed_lines = pending_flushed_lines_;
+    // relaxed: read after the ParallelFor join; no concurrent writers remain.
+    scatter_stats_.prefetch_issues = issued.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] Status Gather(const Vid* w_prev, Wid n, const Vid* sw,
@@ -764,13 +840,18 @@ class BinnedShuffleBackend : public ShuffleBackend {
     uint8_t* consumed_ptr = nullptr;
 #endif
     const size_t bstride = num_bins_ + 1;
+    std::atomic<uint64_t> issued{0};
     // Phase A, parallel over bins: replay each segment's counting offsets and
     // stage the sampled values record-adjacent. SW reads stay in the bin's
     // cache-resident span; writes go to disjoint regions.
     pool_->ParallelFor(bstride, [&](uint64_t b, uint32_t) {
       TraceSpan span("shuffle", "gather_segment");
       span.Arg("bin", b);
-      GatherBin(static_cast<uint32_t>(b), n, sw, sw_aux, consumed_ptr);
+      const uint64_t bin_issued =
+          GatherBin(static_cast<uint32_t>(b), n, sw, sw_aux, consumed_ptr);
+      // relaxed: independent per-bin counter folds; the ParallelFor join
+      // publishes the total.
+      issued.fetch_add(bin_issued, std::memory_order_relaxed);
     });
     gather_stats_.pass1_s = timer.Lap();
 
@@ -784,10 +865,17 @@ class BinnedShuffleBackend : public ShuffleBackend {
       span.Arg("walkers", end - begin);
       std::vector<Wid> cursor(region_start_.begin() + c * bstride,
                               region_start_.begin() + (c + 1) * bstride + 1);
-      GatherMergeScan(plan_, vp_to_bin_.data(), num_vps_, w_prev, begin, end,
-                      cursor.data(), values_, aux_values_, w_next, aux_next);
+      const uint64_t chunk_issued =
+          GatherMergeScan(plan_, vp_to_bin_.data(), num_vps_, w_prev, begin,
+                          end, cursor.data(), values_, aux_values_, w_next,
+                          aux_next, prefetch_lookahead_);
+      // relaxed: independent per-chunk counter folds; the ParallelFor join
+      // publishes the total.
+      issued.fetch_add(chunk_issued, std::memory_order_relaxed);
     });
     gather_stats_.pass2_s = timer.Lap();
+    // relaxed: read after the ParallelFor join; no concurrent writers remain.
+    gather_stats_.prefetch_issues = issued.load(std::memory_order_relaxed);
     return Status::Ok();
   }
 
@@ -938,9 +1026,10 @@ class BinnedShuffleBackend : public ShuffleBackend {
     return offs;
   }
 
-  void ScatterBin(uint32_t b, Vid* sw, Vid* sw_aux) {
+  uint64_t ScatterBin(uint32_t b, Vid* sw, Vid* sw_aux) {
     const size_t bstride = num_bins_ + 1;
     const uint32_t vp_lo = b == num_bins_ ? num_vps_ : bin_first_vp_[b];
+    uint64_t issued = 0;
     for (uint32_t c = 0; c < num_chunks_; ++c) {
       const Wid rbegin = region_start_[c * bstride + b];
       const Wid len = region_len_[c * bstride + b];
@@ -948,16 +1037,19 @@ class BinnedShuffleBackend : public ShuffleBackend {
         continue;
       }
       std::vector<Wid> offs = SegmentOffsets(b, c);
-      SegmentScatterScan(plan_, num_vps_, vp_lo, records_ + rbegin,
-                         have_aux_ ? aux_records_ + rbegin : nullptr, len,
-                         offs.data(), vp_offsets_.data(), sw, sw_aux);
+      issued += SegmentScatterScan(plan_, num_vps_, vp_lo, records_ + rbegin,
+                                   have_aux_ ? aux_records_ + rbegin : nullptr,
+                                   len, offs.data(), vp_offsets_.data(), sw,
+                                   sw_aux, prefetch_lookahead_);
     }
+    return issued;
   }
 
-  void GatherBin(uint32_t b, Wid n, const Vid* sw, const Vid* sw_aux,
-                 uint8_t* consumed) {
+  uint64_t GatherBin(uint32_t b, Wid n, const Vid* sw, const Vid* sw_aux,
+                     uint8_t* consumed) {
     const size_t bstride = num_bins_ + 1;
     const uint32_t vp_lo = b == num_bins_ ? num_vps_ : bin_first_vp_[b];
+    uint64_t issued = 0;
     for (uint32_t c = 0; c < num_chunks_; ++c) {
       const Wid rbegin = region_start_[c * bstride + b];
       const Wid len = region_len_[c * bstride + b];
@@ -965,11 +1057,13 @@ class BinnedShuffleBackend : public ShuffleBackend {
         continue;
       }
       std::vector<Wid> offs = SegmentOffsets(b, c);
-      GatherSegmentScan(plan_, num_vps_, vp_lo, records_ + rbegin, len,
-                        offs.data(), n, sw, sw_aux, values_ + rbegin,
-                        aux_values_ != nullptr ? aux_values_ + rbegin : nullptr,
-                        consumed);
+      issued += GatherSegmentScan(
+          plan_, num_vps_, vp_lo, records_ + rbegin, len, offs.data(), n, sw,
+          sw_aux, values_ + rbegin,
+          aux_values_ != nullptr ? aux_values_ + rbegin : nullptr, consumed,
+          prefetch_lookahead_);
     }
+    return issued;
   }
 
   std::vector<uint32_t> bin_first_vp_;
@@ -1006,13 +1100,17 @@ std::unique_ptr<ShuffleBackend> MakeBackend(const PartitionPlan* plan,
     kind = config.shuffle_plan != nullptr ? config.shuffle_plan->recommended
                                           : ShuffleBackendKind::kDirect;
   }
+  std::unique_ptr<ShuffleBackend> backend;
   if (kind == ShuffleBackendKind::kBinned) {
     FM_CHECK_MSG(config.shuffle_plan != nullptr,
                  "binned shuffle requires a ShufflePlan");
-    return std::make_unique<BinnedShuffleBackend>(plan, pool,
-                                                  *config.shuffle_plan);
+    backend = std::make_unique<BinnedShuffleBackend>(plan, pool,
+                                                     *config.shuffle_plan);
+  } else {
+    backend = std::make_unique<DirectShuffleBackend>(plan, pool);
   }
-  return std::make_unique<DirectShuffleBackend>(plan, pool);
+  backend->set_prefetch_lookahead(config.prefetch_lookahead);
+  return backend;
 }
 
 }  // namespace

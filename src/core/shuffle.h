@@ -80,6 +80,9 @@ struct ShuffleOpStats {
   // Full cache lines flushed through the write-combining buffers (binned
   // scatter pass 1; counts the aux stream too). 0 for direct.
   uint64_t flushed_lines = 0;
+  // Software prefetches issued by the scatter/gather look-ahead
+  // (ShuffleConfig::prefetch_lookahead). 0 when the look-ahead is off.
+  uint64_t prefetch_issues = 0;
 };
 
 // Callback receiving one memory access of a simulated replay (address and
@@ -116,6 +119,11 @@ class ShuffleBackend {
 
   virtual void AttachArena(ShuffleArena* /*arena*/) {}
 
+  // Destination look-ahead distance (ShuffleConfig::prefetch_lookahead);
+  // applied by the next Scatter/Gather. 0 = off.
+  void set_prefetch_lookahead(uint32_t k) { prefetch_lookahead_ = k; }
+  uint32_t prefetch_lookahead() const { return prefetch_lookahead_; }
+
   const std::vector<Wid>& vp_offsets() const { return vp_offsets_; }
   Wid dead_count() const {
     return vp_offsets_.back() - vp_offsets_[vp_offsets_.size() - 2];
@@ -141,6 +149,7 @@ class ShuffleBackend {
   ThreadPool* pool_;
   uint32_t num_vps_;
   uint32_t num_chunks_;
+  uint32_t prefetch_lookahead_ = 0;
   Wid scattered_n_ = 0;
 
   // starts_[chunk * (num_vps_+1) + vp] = first SW slot for that (chunk, vp) pair.
@@ -156,6 +165,13 @@ struct ShuffleConfig {
   ShuffleBackendKind kind = ShuffleBackendKind::kDirect;
   // Required for kBinned (and consulted by kAuto); must outlive the Shuffler.
   const ShufflePlan* shuffle_plan = nullptr;
+  // Scatter/gather destination look-ahead (walkers): while handling walker j,
+  // prefetch the destination cursor line for walker j+k. The destination
+  // cursors advance sequentially per bin, so the line prefetched through the
+  // *current* cursor is the true target's line (or its predecessor) — a pure
+  // hint that never changes the layout. 0 disables. The engine sets this from
+  // the resolved interleave depth (src/core/interleave.h).
+  uint32_t prefetch_lookahead = 0;
 };
 
 class Shuffler {

@@ -35,6 +35,29 @@ class VertexAliasTables {
     return rng.NextDouble() < prob_[begin + slot] ? slot : alias_[begin + slot];
   }
 
+  // Two-phase variant of SampleIndex for the interleaved ring kernels
+  // (src/core/interleave.h): PickSlot makes the first draw and returns the
+  // absolute table index so the caller can prefetch RowAddr(index), and
+  // ResolveSlot makes the second draw against the (now near) row. Calling
+  // PickSlot + ResolveSlot consumes the RNG exactly like one SampleIndex
+  // call — the split must stay draw-for-draw identical or interleaved and
+  // sequential walks diverge.
+  template <typename Rng>
+  FM_HOT_PATH Eid PickSlot(Eid edge_begin, Degree deg, Rng& rng) const {
+    return edge_begin + rng.NextBounded(deg);
+  }
+
+  const void* RowAddr(Eid index) const { return &prob_[index]; }
+
+  template <typename Rng, typename Hook>
+  FM_HOT_PATH Degree ResolveSlot(Eid edge_begin, Eid index, Rng& rng,
+                                 Hook& hook) const {
+    hook.Load(&prob_[index], sizeof(float) + sizeof(uint32_t));
+    return rng.NextDouble() < prob_[index]
+               ? static_cast<Degree>(index - edge_begin)
+               : alias_[index];
+  }
+
   // Convenience: the sampled neighbor itself.
   template <typename Rng, typename Hook>
   FM_HOT_PATH Vid SampleNeighbor(const CsrGraph& graph, Vid v, Rng& rng,

@@ -53,6 +53,86 @@ TEST(KnightKingTest, Node2VecValid) {
   EXPECT_TRUE(result.paths.ValidAgainst(g));
 }
 
+// The xorshift path seeds one RNG stream per (step, global walker), so the
+// ring executor must reproduce the sequential walk bit-for-bit at every
+// interleave depth — the baseline counterpart of the FlashMob oracle suite.
+TEST(KnightKingTest, InterleavedMatchesSequentialExactly) {
+  CsrGraph g = SkewedGraph(1500);
+  WalkSpec spec = SmallSpec(3000, 8, 17);
+  spec.stop_probability = 0.1;  // early deaths stress the ring refill path
+  BaselineOptions base;
+  base.use_mersenne = false;
+  base.interleave_depth = 1;
+  WalkResult sequential = KnightKingEngine(g, base).Run(spec);
+  for (uint32_t depth : {4u, 8u, 16u}) {
+    BaselineOptions opts = base;
+    opts.interleave_depth = depth;
+    WalkResult ring = KnightKingEngine(g, opts).Run(spec);
+    EXPECT_EQ(ring.stats.interleave_depth, depth);
+    ASSERT_TRUE(ring.paths.SameAs(sequential.paths)) << "depth " << depth;
+    EXPECT_EQ(ring.visit_counts, sequential.visit_counts) << "depth " << depth;
+    EXPECT_GT(ring.stats.prefetch.Total(), 0u) << "depth " << depth;
+  }
+}
+
+TEST(KnightKingTest, InterleavedWeightedMatchesSequentialExactly) {
+  // Weighted draws route through the two-phase alias split (PickSlot /
+  // ResolveSlot); the ring must keep those draws in the sequential order.
+  GraphBuilder b(6);
+  for (Vid v = 0; v < 6; ++v) {
+    for (Vid t = 0; t < 6; ++t) {
+      if (t != v) {
+        b.AddEdge(v, t, static_cast<float>(1 + (v + t) % 4));
+      }
+    }
+  }
+  CsrGraph g = b.Build();
+  WalkSpec spec = SmallSpec(4000, 6, 23);
+  spec.use_edge_weights = true;
+  BaselineOptions base;
+  base.use_mersenne = false;
+  WalkResult sequential = KnightKingEngine(g, base).Run(spec);
+  for (uint32_t depth : {4u, 16u}) {
+    BaselineOptions opts = base;
+    opts.interleave_depth = depth;
+    WalkResult ring = KnightKingEngine(g, opts).Run(spec);
+    ASSERT_TRUE(ring.paths.SameAs(sequential.paths)) << "depth " << depth;
+  }
+}
+
+TEST(KnightKingTest, InterleavedNode2VecMatchesSequentialExactly) {
+  // The rejection loop draws a variable number of samples per walker; the
+  // ring replays retries draw-for-draw.
+  CsrGraph g = SkewedGraph(800);
+  WalkSpec spec = SmallSpec(2000, 6, 29);
+  spec.algorithm = WalkAlgorithm::kNode2Vec;
+  spec.node2vec = {0.25, 4.0};
+  BaselineOptions base;
+  base.use_mersenne = false;
+  WalkResult sequential = KnightKingEngine(g, base).Run(spec);
+  for (uint32_t depth : {4u, 8u, 16u}) {
+    BaselineOptions opts = base;
+    opts.interleave_depth = depth;
+    WalkResult ring = KnightKingEngine(g, opts).Run(spec);
+    ASSERT_TRUE(ring.paths.SameAs(sequential.paths)) << "depth " << depth;
+  }
+}
+
+TEST(KnightKingTest, MersennePathIgnoresInterleaveDepth) {
+  // The Mersenne path keeps KnightKing's historical per-chunk streams and
+  // always runs sequentially; a requested depth must not change the walk.
+  CsrGraph g = SkewedGraph(600);
+  WalkSpec spec = SmallSpec(1200, 5, 31);
+  BaselineOptions base;  // use_mersenne = true
+  WalkResult sequential = KnightKingEngine(g, base).Run(spec);
+  BaselineOptions opts = base;
+  opts.interleave_depth = 8;
+  WalkResult rerun = KnightKingEngine(g, opts).Run(spec);
+  EXPECT_EQ(rerun.stats.interleave_depth, 1u);
+  EXPECT_EQ(rerun.stats.prefetch.Total(), 0u);
+  ASSERT_TRUE(rerun.paths.SameAs(sequential.paths));
+}
+
 TEST(GraphViteTest, PathsValid) {
   CsrGraph g = SkewedGraph(3000);
   GraphViteEngine engine(g);

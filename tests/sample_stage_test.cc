@@ -35,10 +35,9 @@ TEST_P(SampleKernelTest, ProducesValidNeighbors) {
     w = static_cast<Vid>(init.NextBounded(512));
   }
   auto before = walkers;
-  XorShiftRng rng(2);
   NullMemHook hook;
-  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr, rng,
-                     hook);
+  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr,
+                     /*chunk_seed=*/2, hook);
   for (Wid j = 0; j < n; ++j) {
     ASSERT_TRUE(g.HasEdge(before[j], walkers[j])) << j;
   }
@@ -57,10 +56,9 @@ TEST_P(SampleKernelTest, UniformDistributionPerVertex) {
   PresampleBuffers buffers(g, plan);
   const Wid n = 1 << 18;
   std::vector<Vid> walkers(n, 0);  // vertex 0 = the hub after sorting
-  XorShiftRng rng(3);
   NullMemHook hook;
-  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr, rng,
-                     hook);
+  SampleVpFirstOrder(g, 0, plan.vp(0), &buffers, walkers.data(), n, 0.0, nullptr,
+                     /*chunk_seed=*/3, hook);
   std::vector<uint64_t> counts(9, 0);
   for (Vid v : walkers) {
     ++counts[v];
@@ -92,11 +90,10 @@ TEST(SampleKernelTest, UniformDegreeFastPathMatchesGeneralCsr) {
     a[j] = b2[j] = static_cast<Vid>(init.NextBounded(256));
   }
   NullMemHook hook;
-  XorShiftRng rng_a(5), rng_b(5);
-  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, a.data(), n, 0.0, nullptr, rng_a,
-                     hook);
+  SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, a.data(), n, 0.0, nullptr,
+                     /*chunk_seed=*/5, hook);
   SampleVpFirstOrder(g, 0, general.vp(0), nullptr, b2.data(), n, 0.0, nullptr,
-                     rng_b, hook);
+                     /*chunk_seed=*/5, hook);
   EXPECT_EQ(a, b2);
 }
 
@@ -106,10 +103,9 @@ TEST(SampleKernelTest, DegreeOneNeedsNoRng) {
   ASSERT_TRUE(plan.vp(0).uniform_degree);
   ASSERT_EQ(plan.vp(0).degree, 1u);
   std::vector<Vid> walkers{0, 5, 63};
-  XorShiftRng rng(1);
   NullMemHook hook;
   SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), 3, 0.0, nullptr,
-                     rng, hook);
+                     /*chunk_seed=*/1, hook);
   EXPECT_EQ(walkers, (std::vector<Vid>{1, 6, 0}));
 }
 
@@ -119,10 +115,9 @@ TEST(SampleKernelTest, DeadEndStaysInPlace) {
   CsrGraph g = b.Build();
   PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
   std::vector<Vid> walkers{1, 1};
-  XorShiftRng rng(1);
   NullMemHook hook;
   SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), 2, 0.0, nullptr,
-                     rng, hook);
+                     /*chunk_seed=*/1, hook);
   EXPECT_EQ(walkers, (std::vector<Vid>{1, 1}));
 }
 
@@ -131,10 +126,9 @@ TEST(SampleKernelTest, StopProbabilityTerminatesRoughlyThatFraction) {
   PartitionPlan plan = PartitionPlan::BuildUniform(g, 1, SamplePolicy::kDS);
   const Wid n = 1 << 17;
   std::vector<Vid> walkers(n, 0);
-  XorShiftRng rng(6);
   NullMemHook hook;
   SampleVpFirstOrder(g, 0, plan.vp(0), nullptr, walkers.data(), n, 0.25, nullptr,
-                     rng, hook);
+                     /*chunk_seed=*/6, hook);
   double dead = std::count(walkers.begin(), walkers.end(), kInvalidVid) /
                 static_cast<double>(n);
   EXPECT_NEAR(dead, 0.25, 0.01);
@@ -147,10 +141,9 @@ TEST(Node2VecKernelTest, ValidTransitionsAndDistribution) {
   const Wid n = 1 << 17;
   std::vector<Vid> walkers(n, 0);
   std::vector<Vid> prevs(n, 2);
-  XorShiftRng rng(8);
   NullMemHook hook;
   SampleVpNode2Vec(g, plan.vp(0), params, walkers.data(), prevs.data(), n, 0.0,
-                   /*update_prevs=*/false, rng, hook);
+                   /*update_prevs=*/false, /*chunk_seed=*/8, hook);
   auto exact = Node2VecTransitionProbs(g, 0, 2, params);
   auto nbrs = g.neighbors(0);
   std::vector<uint64_t> counts(6, 0);
@@ -173,10 +166,10 @@ TEST(Node2VecKernelTest, FirstStepIsUniform) {
   const Wid n = 1 << 16;
   std::vector<Vid> walkers(n, 0);
   std::vector<Vid> prevs(n, kInvalidVid);
-  XorShiftRng rng(9);
   NullMemHook hook;
   SampleVpNode2Vec(g, plan.vp(0), Node2VecParams{0.1, 10.0}, walkers.data(),
-                   prevs.data(), n, 0.0, /*update_prevs=*/false, rng, hook);
+                   prevs.data(), n, 0.0, /*update_prevs=*/false,
+                   /*chunk_seed=*/9, hook);
   std::vector<uint64_t> counts(5, 0);
   for (Vid v : walkers) {
     ++counts[v];

@@ -40,6 +40,10 @@
 //   --shuffle=K       shuffle backend: direct (two-pass counting), binned
 //                     (propagation-blocking radix bins), or auto (default —
 //                     the ShufflePlan picks per run)
+//   --interleave=D    sample-stage ring depth: in-flight walkers per worker
+//                     with software prefetch between them; "auto" (default)
+//                     resolves from cache geometry, 1 disables. Walks are
+//                     bit-identical at every depth
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -75,6 +79,7 @@ struct Args {
   bool stats = false;
   bool profile = false;
   ShuffleBackendKind shuffle = ShuffleBackendKind::kAuto;
+  uint32_t interleave = kInterleaveDepthAuto;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -95,7 +100,7 @@ int Usage(const char* self) {
                "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
                "[--profile] [--metrics-json=metrics.json]\n"
                "  [--trace-json=trace.json] [--progress[=SECONDS]] "
-               "[--shuffle=direct|binned|auto]\n",
+               "[--shuffle=direct|binned|auto] [--interleave=auto|N]\n",
                self);
   return 2;
 }
@@ -153,6 +158,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(a, "--shuffle", &value)) {
       if (!ParseShuffleBackendName(value, &args.shuffle)) {
         std::fprintf(stderr, "bad --shuffle value: %s\n", value.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(a, "--interleave", &value)) {
+      if (!ParseInterleaveDepth(value, &args.interleave)) {
+        std::fprintf(stderr, "bad --interleave value: %s\n", value.c_str());
         return Usage(argv[0]);
       }
     } else {
@@ -223,6 +233,7 @@ int main(int argc, char** argv) {
     engine_options.record_step_stats = args.profile || !args.metrics_path.empty();
     engine_options.collect_counters = !args.metrics_path.empty();
     engine_options.shuffle_backend = args.shuffle;
+    engine_options.interleave_depth = args.interleave;
     ProgressReporter progress(args.progress_interval_s);
     if (args.progress) {
       engine_options.progress = &progress;
