@@ -11,6 +11,7 @@
 #include "src/util/env.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/telemetry.h"
 #include "src/util/timer.h"
 #include "src/util/trace.h"
 
@@ -41,6 +42,37 @@ void AccumulateSimDelta(const CacheCounters& before, const CacheCounters& after,
   }
   acc->dram_lines += after.dram_lines - before.dram_lines;
 }
+
+uint64_t SecondsToNs(double s) {
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
+
+// Cached telemetry instruments for the engine's stage barriers. Looked up once
+// per Run (registry lookups take a mutex); published only from the calling
+// thread at barrier points, from the same Timer reads and counters that feed
+// WalkStats — so fm-metrics-v1 output is bit-identical with telemetry wired.
+struct EngineTelemetry {
+  telemetry::Counter& walker_steps;
+  telemetry::Counter& episodes;
+  telemetry::Counter& scatter_ns;
+  telemetry::Counter& sample_ns;
+  telemetry::Counter& gather_ns;
+  telemetry::Gauge& live_walkers;
+  telemetry::Histogram& step_ns;
+
+  static EngineTelemetry Make() {
+    auto& reg = telemetry::TelemetryRegistry::Get();
+    return EngineTelemetry{
+        reg.CounterRef("fm.engine.walker_steps_total"),
+        reg.CounterRef("fm.engine.episodes_total"),
+        reg.CounterRef("fm.engine.scatter_ns_total"),
+        reg.CounterRef("fm.engine.sample_ns_total"),
+        reg.CounterRef("fm.engine.gather_ns_total"),
+        reg.GaugeRef("fm.engine.live_walkers"),
+        reg.HistogramRef("fm.engine.step_ns"),
+    };
+  }
+};
 
 }  // namespace
 
@@ -193,6 +225,8 @@ WalkResult FlashMobEngine::RunImpl(
     return delta;
   };
 
+  EngineTelemetry tm = EngineTelemetry::Make();
+
   Timer other_timer;
   // Shuffle backend: geometry and the auto recommendation come from the
   // ShufflePlan computed against the same cache model as the partition plan.
@@ -315,6 +349,7 @@ WalkResult FlashMobEngine::RunImpl(
       result.stats.times.shuffle_s += scatter_s;
       result.stats.prefetch.shuffle +=
           shuffler.last_scatter_stats().prefetch_issues;
+      tm.scatter_ns.Add(SecondsToNs(scatter_s));
       const CounterSample scatter_counters = perf_delta();
       result.stats.counters.scatter += scatter_counters;
 
@@ -357,6 +392,9 @@ WalkResult FlashMobEngine::RunImpl(
       }
       result.stats.total_steps += live_walkers;
       result.stats.times.sample_s += sample_s;
+      tm.walker_steps.Add(live_walkers);
+      tm.live_walkers.Set(static_cast<int64_t>(live_walkers));
+      tm.sample_ns.Add(SecondsToNs(sample_s));
       const CounterSample sample_counters = perf_delta();
       result.stats.counters.sample += sample_counters;
 
@@ -404,6 +442,7 @@ WalkResult FlashMobEngine::RunImpl(
         result.stats.times.shuffle_s += gather_s;
         result.stats.prefetch.shuffle +=
             shuffler.last_gather_stats().prefetch_issues;
+        tm.gather_ns.Add(SecondsToNs(gather_s));
         gather_counters = perf_delta();
         result.stats.counters.gather += gather_counters;
 
@@ -449,6 +488,7 @@ WalkResult FlashMobEngine::RunImpl(
         rec.gather_counters = gather_counters;
         result.stats.step_records.push_back(std::move(rec));
       }
+      tm.step_ns.Observe(SecondsToNs(scatter_s + sample_s + gather_s));
       // Heartbeat: every stage above is barrier-synchronized, so this point is
       // a consistent end-of-step snapshot on the calling thread.
       if (options_.progress != nullptr) {
@@ -464,6 +504,7 @@ WalkResult FlashMobEngine::RunImpl(
       sink->OnEpisodeEnd(episode);
     }
     ++result.stats.episodes;
+    tm.episodes.Add(1);
     result.stats.times.other_s += other_timer.Elapsed();
     ++episode;
   }
@@ -472,6 +513,21 @@ WalkResult FlashMobEngine::RunImpl(
   for (const InterleaveStats& shard : prefetch_shards) {
     result.stats.prefetch += shard;
   }
+  // Interleave prefetch counters: per-worker shards were already folded into
+  // WalkStats above; publish the identical run totals so the JSONL tail agrees
+  // with fm-metrics-v1 to the digit.
+  {
+    auto& reg = telemetry::TelemetryRegistry::Get();
+    reg.CounterRef("fm.interleave.prefetch_offsets_total")
+        .Add(result.stats.prefetch.offsets);
+    reg.CounterRef("fm.interleave.prefetch_alias_total")
+        .Add(result.stats.prefetch.alias);
+    reg.CounterRef("fm.interleave.prefetch_edges_total")
+        .Add(result.stats.prefetch.edges);
+    reg.CounterRef("fm.interleave.prefetch_shuffle_total")
+        .Add(result.stats.prefetch.shuffle);
+  }
+  tm.live_walkers.Set(0);  // every walker is retired once the loop exits
   for (WalkObserver* sink : sinks) {
     sink->OnRunEnd();
   }

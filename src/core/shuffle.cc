@@ -8,6 +8,7 @@
 #include "src/core/interleave.h"
 #include "src/util/logging.h"
 #include "src/util/sync.h"
+#include "src/util/telemetry.h"
 #include "src/util/timer.h"
 #include "src/util/trace.h"
 
@@ -1125,6 +1126,65 @@ Shuffler::Shuffler(const PartitionPlan* plan, ThreadPool* pool,
     : backend_(MakeBackend(plan, pool, config)) {}
 
 Shuffler::~Shuffler() = default;
+
+namespace {
+
+// Shuffle-stage telemetry, published once per Scatter/Gather op (never inside
+// the scan loops). Instruments are process-wide so one lookup serves every
+// Shuffler; deliberately leaked references into the leaked registry.
+struct ShuffleTelemetry {
+  telemetry::Counter& pass1_ns;
+  telemetry::Counter& pass2_ns;
+  telemetry::Counter& flushed_lines;
+  telemetry::Counter& prefetch_issues;
+  telemetry::Counter& scatter_ops;
+  telemetry::Counter& gather_ops;
+
+  static ShuffleTelemetry& Get() {
+    auto& reg = telemetry::TelemetryRegistry::Get();
+    static ShuffleTelemetry tm{
+        reg.CounterRef("fm.shuffle.pass1_ns_total"),
+        reg.CounterRef("fm.shuffle.pass2_ns_total"),
+        reg.CounterRef("fm.shuffle.flushed_lines_total"),
+        reg.CounterRef("fm.shuffle.prefetch_issues_total"),
+        reg.CounterRef("fm.shuffle.scatter_ops_total"),
+        reg.CounterRef("fm.shuffle.gather_ops_total"),
+    };
+    return tm;
+  }
+
+  void Publish(const ShuffleOpStats& stats) {
+    pass1_ns.Add(stats.pass1_s <= 0
+                     ? 0
+                     : static_cast<uint64_t>(stats.pass1_s * 1e9));
+    pass2_ns.Add(stats.pass2_s <= 0
+                     ? 0
+                     : static_cast<uint64_t>(stats.pass2_s * 1e9));
+    flushed_lines.Add(stats.flushed_lines);
+    prefetch_issues.Add(stats.prefetch_issues);
+  }
+};
+
+}  // namespace
+
+void Shuffler::Scatter(const Vid* w, const Vid* aux, Wid n, Vid* sw,
+                       Vid* sw_aux) {
+  backend_->Scatter(w, aux, n, sw, sw_aux);
+  ShuffleTelemetry& tm = ShuffleTelemetry::Get();
+  tm.Publish(backend_->last_scatter_stats());
+  tm.scatter_ops.Add(1);
+}
+
+Status Shuffler::Gather(const Vid* w_prev, Wid n, const Vid* sw, Vid* w_next,
+                        const Vid* sw_aux, Vid* aux_next) {
+  Status status = backend_->Gather(w_prev, n, sw, w_next, sw_aux, aux_next);
+  if (status.ok()) {
+    ShuffleTelemetry& tm = ShuffleTelemetry::Get();
+    tm.Publish(backend_->last_gather_stats());
+    tm.gather_ops.Add(1);
+  }
+  return status;
+}
 
 void Shuffler::ScatterTwoLevelForTest(const Vid* w, const Vid* aux, Wid n,
                                       Vid* sw, Vid* sw_aux) {

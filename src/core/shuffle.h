@@ -188,9 +188,9 @@ class Shuffler {
   // a second per-walker attribute through the same permutation (node2vec's previous
   // vertex). After Scatter, vp_offsets()[i]..vp_offsets()[i+1] is partition i's
   // chunk.
-  void Scatter(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux) {
-    backend_->Scatter(w, aux, n, sw, sw_aux);
-  }
+  // Out-of-line (shuffle.cc): delegates to the backend, then publishes the
+  // op's pass timings / flushed-line / prefetch-issue stats to telemetry.
+  void Scatter(const Vid* w, const Vid* aux, Wid n, Vid* sw, Vid* sw_aux);
 
   // Replays the permutation from w_prev (the array Scatter consumed): writes
   // w_next[j] = sw[position walker j's element was scattered to], and likewise for
@@ -198,9 +198,7 @@ class Shuffler {
   // from the last Scatter's walker count — the replay would not be a
   // bijection.
   [[nodiscard]] Status Gather(const Vid* w_prev, Wid n, const Vid* sw,
-                              Vid* w_next, const Vid* sw_aux, Vid* aux_next) {
-    return backend_->Gather(w_prev, n, sw, w_next, sw_aux, aux_next);
-  }
+                              Vid* w_next, const Vid* sw_aux, Vid* aux_next);
 
   void SimulateScatter(const Vid* w, const Vid* aux, Wid n, const Vid* sw,
                        const Vid* sw_aux, const MemAccessFn& access) const {

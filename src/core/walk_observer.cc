@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -75,7 +76,12 @@ void ShardedVisitCounter::OnEpisodeEnd(uint64_t episode) {
   TraceSpan span("observer", "merge_visit_shards");
   span.Arg("episode", episode);
   span.Arg("vertices", num_vertices_);
+  const uint64_t begin_ns = TraceNowNs();
   MergeShards(pool_);
+  // Episode barrier (not per-chunk): one histogram sample per merge.
+  telemetry::TelemetryRegistry::Get()
+      .HistogramRef("fm.observer.merge_ns")
+      .Observe(TraceNowNs() - begin_ns);
 }
 
 std::vector<uint64_t> ShardedVisitCounter::TakeCounts() {

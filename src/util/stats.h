@@ -11,6 +11,15 @@ double Mean(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);
 
 // p in [0, 100]; linear interpolation between order statistics. Sorts a copy.
+//
+// Boundary with telemetry: Percentile is for one-shot analytics — a sample
+// set you already hold in a vector, read once, exact answer (distribution
+// oracles, example programs). Metrics that accumulate across a run (step
+// latencies, job times, merge times) belong in a telemetry::Histogram, whose
+// log2-bucketed percentiles are approximate but O(1) per sample, shared with
+// every exporter, and never require buffering the series. If a telemetry
+// histogram for the quantity exists, query it instead of rebuilding the
+// series here — two aggregations of the same signal will eventually disagree.
 double Percentile(std::vector<double> values, double p);
 
 // Pearson chi-square statistic for observed counts against expected counts.

@@ -1,0 +1,456 @@
+#include "src/util/telemetry.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/trace.h"
+
+namespace fm {
+namespace telemetry {
+namespace {
+
+// Exclusive shard slots, leased per thread and recycled at thread exit so the
+// fixed slot array survives any number of short-lived pools (tests construct
+// and join hundreds). Deliberately leaked: thread_local lease destructors run
+// at thread exit, which for pool workers can be during static destruction —
+// after a function-local static would already be gone.
+class SlotPool {
+ public:
+  static SlotPool& Get() {
+    static SlotPool* pool = std::make_unique<SlotPool>().release();
+    return *pool;
+  }
+
+  uint32_t Acquire() {
+    MutexLock lock(mutex_);
+    if (free_.empty()) {
+      return kOverflowSlot;
+    }
+    uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  void Release(uint32_t slot) {
+    if (slot == kOverflowSlot) {
+      return;
+    }
+    MutexLock lock(mutex_);
+    free_.push_back(slot);
+  }
+
+  SlotPool() {
+    free_.reserve(kOverflowSlot);
+    // LIFO order: low slot numbers are handed out first, so snapshots of a
+    // lightly threaded process fold mostly-zero tails.
+    for (uint32_t slot = kOverflowSlot; slot > 0; --slot) {
+      free_.push_back(slot - 1);
+    }
+  }
+
+ private:
+  // mutex_ protects the free-slot list (leaf lock: Acquire/Release call
+  // nothing while holding it).
+  Mutex mutex_;
+  std::vector<uint32_t> free_ FM_GUARDED_BY(mutex_);
+};
+
+struct SlotLease {
+  uint32_t slot = SlotPool::Get().Acquire();
+  ~SlotLease() { SlotPool::Get().Release(slot); }
+};
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += '0';
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+// Prometheus metric name: dots become underscores (the exposition grammar has
+// no dots); everything else in fm.<module>.<metric> is already legal.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// Inclusive upper bound of log2 bucket b (values with bit_width == b).
+uint64_t BucketUpper(uint32_t b) {
+  return b >= 64 ? UINT64_MAX : (uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+uint32_t ThisThreadSlot() {
+  thread_local SlotLease lease;
+  return lease.slot;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  size_t pos = 0;
+  int segments = 0;
+  while (true) {
+    size_t dot = name.find('.', pos);
+    size_t end = dot == std::string::npos ? name.size() : dot;
+    if (end == pos) {
+      return false;  // empty segment (leading/trailing/double dot)
+    }
+    for (size_t i = pos; i < end; ++i) {
+      char c = name[i];
+      bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+      if (!ok) {
+        return false;
+      }
+    }
+    if (segments == 0 && name.compare(pos, end - pos, "fm") != 0) {
+      return false;
+    }
+    ++segments;
+    if (dot == std::string::npos) {
+      break;
+    }
+    pos = dot + 1;
+  }
+  return segments >= 3;
+}
+
+void Counter::ResetForTest() {
+  for (Cell& cell : cells_) {
+    // relaxed: test-only reset; callers guarantee no concurrent writers.
+    cell.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::string name)
+    : name_(std::move(name)), shards_(kShards) {}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  for (const Shard& shard : shards_) {
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      // relaxed: fold of single-writer cells; snapshots tolerate in-flight
+      // samples.
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    // relaxed: see above.
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.buckets) {
+    snap.count += c;
+  }
+  return snap;
+}
+
+void Histogram::ResetForTest() {
+  for (Shard& shard : shards_) {
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      // relaxed: test-only reset; callers guarantee no concurrent writers.
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    // relaxed: see above.
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Same rank convention as stats::Percentile: rank p spans the order
+  // statistics [0, count-1] with linear interpolation.
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    const uint64_t c = buckets[b];
+    if (c == 0) {
+      continue;
+    }
+    if (rank < static_cast<double>(seen + c) ||
+        seen + c == count /* last non-empty bucket */) {
+      if (b == 0) {
+        return 0.0;
+      }
+      const double lo = std::exp2(static_cast<double>(b - 1));
+      const double hi = std::exp2(static_cast<double>(b)) - 1.0;
+      double frac = (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      if (frac < 0.0) {
+        frac = 0.0;
+      }
+      if (frac > 1.0) {
+        frac = 1.0;
+      }
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return 0.0;  // unreachable: count > 0 means some bucket is non-empty
+}
+
+TelemetryRegistry& TelemetryRegistry::Get() {
+  // Leaked for static-destruction safety: instruments may be touched from
+  // thread_local destructors and static teardown (same pattern as SlotPool).
+  static TelemetryRegistry* registry =
+      std::make_unique<TelemetryRegistry>().release();
+  return *registry;
+}
+
+Counter& TelemetryRegistry::CounterRef(const std::string& name) {
+  FM_CHECK_MSG(IsValidMetricName(name),
+               "telemetry metric names must be fm.<module>.<metric>");
+  MutexLock lock(mutex_);
+  FM_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+               "metric name already registered as another instrument type");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+Gauge& TelemetryRegistry::GaugeRef(const std::string& name) {
+  FM_CHECK_MSG(IsValidMetricName(name),
+               "telemetry metric names must be fm.<module>.<metric>");
+  MutexLock lock(mutex_);
+  FM_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+               "metric name already registered as another instrument type");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return *it->second;
+}
+
+Histogram& TelemetryRegistry::HistogramRef(const std::string& name) {
+  FM_CHECK_MSG(IsValidMetricName(name),
+               "telemetry metric names must be fm.<module>.<metric>");
+  MutexLock lock(mutex_);
+  FM_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+               "metric name already registered as another instrument type");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(name)).first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot TelemetryRegistry::Snapshot() const {
+  MutexLock lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->Snapshot());
+  }
+  return snap;
+}
+
+std::string TelemetryRegistry::RenderPrometheus() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out;
+  out.reserve(256 * (snap.counters.size() + snap.gauges.size()) +
+              2048 * snap.histograms.size());
+  for (const auto& c : snap.counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + std::to_string(g.value) + '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint32_t last = 0;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] != 0) {
+        last = b;
+      }
+    }
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b <= last; ++b) {
+      cumulative += h.buckets[b];
+      out += name + "_bucket{le=\"" + std::to_string(BucketUpper(b)) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += name + "_sum " + std::to_string(h.sum) + '\n';
+    out += name + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+std::string TelemetryRegistry::RenderJsonLine(uint64_t t_ns) const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out;
+  out.reserve(128 + 64 * (snap.counters.size() + snap.gauges.size()) +
+              512 * snap.histograms.size());
+  out += "{\"schema\":\"fm-telemetry-v1\",\"t_ns\":";
+  out += std::to_string(t_ns);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    json::AppendQuoted(&out, c.name);
+    out += ':';
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    json::AppendQuoted(&out, g.name);
+    out += ':';
+    out += std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    json::AppendQuoted(&out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"p50\":";
+    AppendDouble(&out, h.Percentile(50));
+    out += ",\"p90\":";
+    AppendDouble(&out, h.Percentile(90));
+    out += ",\"p99\":";
+    AppendDouble(&out, h.Percentile(99));
+    out += ",\"p999\":";
+    AppendDouble(&out, h.Percentile(99.9));
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += '"';
+      out += std::to_string(b);
+      out += "\":";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void TelemetryRegistry::ResetForTest() {
+  MutexLock lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->ResetForTest();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->ResetForTest();
+  }
+}
+
+TelemetrySnapshotWriter::TelemetrySnapshotWriter(std::string path,
+                                                uint32_t interval_ms)
+    : path_(std::move(path)), interval_ms_(interval_ms == 0 ? 1 : interval_ms) {}
+
+TelemetrySnapshotWriter::~TelemetrySnapshotWriter() { Stop(); }
+
+bool TelemetrySnapshotWriter::Start() {
+  if (thread_.joinable() || stopped_) {
+    return out_ != nullptr;
+  }
+  out_ = std::fopen(path_.c_str(), "w");
+  if (out_ == nullptr) {
+    return false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void TelemetrySnapshotWriter::Stop() {
+  if (stopped_) {
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (out_ != nullptr) {
+    // Final cumulative snapshot: the last line of the file always reflects
+    // end-of-run values (the counter-equality contract with fm-metrics-v1).
+    WriteLine();
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  stopped_ = true;
+}
+
+void TelemetrySnapshotWriter::Loop() {
+  while (true) {
+    {
+      MutexLock lock(mutex_);
+      if (!stop_) {
+        cv_.WaitFor(mutex_, interval_ms_);
+      }
+      if (stop_) {
+        return;  // the final line is written by Stop, after the join
+      }
+    }
+    // Outside the lock: snapshotting takes the registry mutex and the write
+    // hits the filesystem; neither belongs under the stop-flag leaf lock.
+    WriteLine();
+  }
+}
+
+void TelemetrySnapshotWriter::WriteLine() {
+  const std::string line = TelemetryRegistry::Get().RenderJsonLine(TraceNowNs());
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+  // relaxed: monotonic progress indicator; readers tolerate staleness.
+  lines_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace telemetry
+}  // namespace fm

@@ -1,0 +1,318 @@
+// Unified telemetry: a process-wide metric registry with three instrument
+// types — monotonic counters, gauges, and log2-bucketed histograms — plus two
+// exporters (Prometheus text exposition and append-only JSONL time-series
+// snapshots) and a background snapshot thread.
+//
+// Design (DESIGN.md §7g):
+//   - Counters and histograms are backed by per-thread shards (the
+//     ShardedVisitCounter pattern): each thread leases a shard slot on first
+//     update and its increments are a single relaxed store to a cache-line-
+//     padded cell it alone writes. A snapshot folds the shards with relaxed
+//     loads — counts may lag by an in-flight increment but are never torn,
+//     which is exactly the freshness a live exporter needs. When more threads
+//     are alive than there are slots, the spares share one overflow shard
+//     updated with atomic RMW so no increment is ever lost.
+//   - Gauges are last-write-wins level signals (live walkers, queue depth) set
+//     at stage barriers; a single relaxed atomic cell is the honest encoding —
+//     sharding a "current value" has no meaning.
+//   - Histograms bucket by log2 (std::bit_width — no division, per the
+//     hot-path-div discipline): bucket b holds values with bit_width(v) == b,
+//     i.e. [2^(b-1), 2^b). Percentile queries interpolate linearly inside the
+//     bucket, so p50/p90/p99/p999 carry at most one power-of-two of error.
+//   - Registration is static-init-safe (Meyers-singleton registry, instrument
+//     storage never moves) and names must follow the `fm.<module>.<metric>`
+//     convention — checked at registration so a typo fails the first run, not
+//     a dashboard query months later.
+//   - The engine publishes at stage barriers from values it already measured
+//     (the same Timer reads and per-worker shard folds that feed WalkStats),
+//     so fm-metrics-v1 output is bit-identical with telemetry wired and the
+//     hot loops never touch a shared cell (enforced by the fmlint
+//     telemetry-hot-path rule).
+//
+// Lookup (`CounterRef` etc.) takes the registry mutex — call it at setup /
+// stage boundaries and cache the reference; never in a hot loop.
+#ifndef SRC_UTIL_TELEMETRY_H_
+#define SRC_UTIL_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/sync.h"
+
+namespace fm {
+namespace telemetry {
+
+// Shard slots for counters/histograms. Slots [0, kShards-1) are leased
+// exclusively (one live thread each, recycled at thread exit); the last slot
+// is the shared overflow shard for threads beyond that, updated with RMW.
+inline constexpr uint32_t kShards = 128;
+inline constexpr uint32_t kOverflowSlot = kShards - 1;
+
+// Histogram buckets: bucket b holds values with std::bit_width(v) == b, so
+// bucket 0 is exactly {0} and bucket 64 covers values >= 2^63.
+inline constexpr uint32_t kHistogramBuckets = 65;
+
+// The calling thread's shard slot (leased on first call, released when the
+// thread exits, kOverflowSlot when all exclusive slots are taken).
+uint32_t ThisThreadSlot();
+
+// `fm.<module>.<metric>`: at least three dot-separated segments, the first
+// exactly "fm", the rest non-empty [a-z0-9_]. Exposed so tests can cover the
+// convention without death tests.
+bool IsValidMetricName(const std::string& name);
+
+// Monotonic counter. Add() from any thread; Value() folds the shards.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    const uint32_t slot = ThisThreadSlot();
+    std::atomic<uint64_t>& cell = cells_[slot].v;
+    if (slot == kOverflowSlot) {
+      // relaxed: the overflow shard is shared, so the increment must be an
+      // RMW; folds only need an eventually-complete sum, not ordering.
+      cell.fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+    // relaxed: this cell is written only by the slot's leased owner thread
+    // (single-writer protocol); snapshot folds tolerate reading a value that
+    // is one in-flight increment stale.
+    const uint64_t cur = cell.load(std::memory_order_relaxed);
+    // relaxed: same single-writer cell as the load above.
+    cell.store(cur + delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      // relaxed: fold of independently-written shards; a snapshot is allowed
+      // to lag in-flight increments.
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+  // Zeroes every shard. Test-only: concurrent Add() calls may be lost.
+  void ResetForTest();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Cell, kShards> cells_;
+};
+
+// Last-write-wins level signal, set at stage barriers (never in hot loops —
+// the fmlint telemetry-hot-path rule bans shared metric stores there).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) {
+    // relaxed: a gauge is a level signal; readers only want some recent
+    // value, and the stage barriers that surround Set provide any ordering
+    // the engine itself needs.
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    // relaxed: see Set.
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// Folded view of one histogram, with percentile queries. `buckets[b]` counts
+// values with bit_width == b; Percentile interpolates linearly inside the
+// bucket, clamping the answer to the bucket's value range.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  // p in [0, 100]. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Log2-bucketed histogram of non-negative samples (latencies in ns, sizes).
+class Histogram {
+ public:
+  explicit Histogram(std::string name);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value) {
+    const uint32_t bucket = static_cast<uint32_t>(std::bit_width(value));
+    const uint32_t slot = ThisThreadSlot();
+    Shard& shard = shards_[slot];
+    if (slot == kOverflowSlot) {
+      // relaxed: shared overflow shard — RMW so no sample is lost; folds
+      // need completeness, not ordering.
+      shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+      // relaxed: same shared-overflow RMW protocol as the bucket above.
+      shard.sum.fetch_add(value, std::memory_order_relaxed);
+      return;
+    }
+    // relaxed: single-writer cells (the slot's leased owner); snapshot folds
+    // tolerate an in-flight sample's worth of staleness.
+    const uint64_t b = shard.buckets[bucket].load(std::memory_order_relaxed);
+    // relaxed: same single-writer bucket cell as the load above.
+    shard.buckets[bucket].store(b + 1, std::memory_order_relaxed);
+    // relaxed: single-writer sum cell, same protocol as the bucket.
+    const uint64_t s = shard.sum.load(std::memory_order_relaxed);
+    // relaxed: same single-writer sum cell as the load above.
+    shard.sum.store(s + value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::string& name() const { return name_; }
+
+  // Zeroes every shard. Test-only: concurrent Observe() calls may be lost.
+  void ResetForTest();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::string name_;
+  std::vector<Shard> shards_;  // kShards entries, sized once in the ctor
+};
+
+// Point-in-time fold of every registered instrument.
+struct RegistrySnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+};
+
+// Process-wide instrument registry. Instruments are created on first lookup
+// and live for the process (references stay valid forever); lookups are
+// mutex-guarded, so cache the reference outside hot code.
+class TelemetryRegistry {
+ public:
+  // Use Get(); the constructor is public only so the leaked process-wide
+  // singleton can be built with std::make_unique.
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  static TelemetryRegistry& Get();
+
+  // Aborts on a name that violates the fm.<module>.<metric> convention or is
+  // already registered as a different instrument type.
+  Counter& CounterRef(const std::string& name);
+  Gauge& GaugeRef(const std::string& name);
+  Histogram& HistogramRef(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  // Prometheus text exposition format v0.0.4: counters/gauges with their
+  // TYPE lines, histograms as cumulative le-buckets + _sum + _count. Metric
+  // names have '.' mapped to '_' (Prometheus has no dots).
+  std::string RenderPrometheus() const;
+
+  // One fm-telemetry-v1 JSONL line (no trailing newline): cumulative counter
+  // and gauge values plus histogram counts/sums/buckets and p50/p90/p99/p999.
+  std::string RenderJsonLine(uint64_t t_ns) const;
+
+  // Zeroes counters and histograms (gauges keep their level). Test-only.
+  void ResetForTest();
+
+ private:
+  // mutex_ protects the instrument maps (registration and iteration); the
+  // instrument cells themselves are relaxed atomics and deliberately
+  // unguarded (single-writer shards, see the class comments).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FM_GUARDED_BY(mutex_);
+};
+
+// Background snapshot thread: appends one fm-telemetry-v1 JSONL line every
+// interval while running, plus a final line on Stop() — so the last record of
+// the file always holds the end-of-run cumulative values (the cli_test / CI
+// contract: they must equal fm-metrics-v1's counters exactly).
+class TelemetrySnapshotWriter {
+ public:
+  // Does not open or start anything; call Start().
+  TelemetrySnapshotWriter(std::string path, uint32_t interval_ms);
+  ~TelemetrySnapshotWriter();  // calls Stop()
+
+  TelemetrySnapshotWriter(const TelemetrySnapshotWriter&) = delete;
+  TelemetrySnapshotWriter& operator=(const TelemetrySnapshotWriter&) = delete;
+
+  // Opens the file (truncating) and starts the snapshot thread. False if the
+  // file cannot be opened. Idempotent once started.
+  bool Start();
+
+  // Stops the thread, writes the final snapshot line, flushes, and closes.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  bool started() const { return thread_.joinable() || stopped_; }
+  // Lines written so far (including the final line after Stop).
+  uint64_t lines_written() const {
+    // relaxed: progress indicator for tests/tools; staleness is fine.
+    return lines_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void WriteLine();
+
+  std::string path_;
+  uint32_t interval_ms_;
+  std::FILE* out_ = nullptr;  // written by the loop thread, then (after the
+                              // join in Stop) by the stopping thread
+  std::thread thread_;
+  bool stopped_ = false;
+  std::atomic<uint64_t> lines_written_{0};
+
+  // mutex_ protects the stop flag for the timed-wait handshake with the
+  // snapshot thread (leaf lock: never held while writing or snapshotting).
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ FM_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace telemetry
+}  // namespace fm
+
+#endif  // SRC_UTIL_TELEMETRY_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "src/util/json.h"
+#include "src/util/telemetry.h"
 
 namespace fm {
 namespace {
@@ -235,6 +236,12 @@ ProgressReporter::ProgressReporter(double interval_s, std::FILE* out)
 void ProgressReporter::OnRunBegin(uint64_t total_episodes,
                                   uint32_t steps_per_episode,
                                   uint64_t total_walkers) {
+  // Single source of truth with the JSONL exporter: progress reads the same
+  // registry cells the engine publishes at its stage barriers.
+  auto& registry = telemetry::TelemetryRegistry::Get();
+  steps_counter_ = &registry.CounterRef("fm.engine.walker_steps_total");
+  live_gauge_ = &registry.GaugeRef("fm.engine.live_walkers");
+  steps_base_ = steps_counter_->Value();
   total_episodes_ = total_episodes;
   steps_per_episode_ = steps_per_episode;
   total_walkers_ = total_walkers;
@@ -249,13 +256,22 @@ void ProgressReporter::OnStep(uint64_t episode, uint32_t step,
                               uint64_t live_walkers,
                               uint64_t walker_steps_delta) {
   ++ticks_done_;
-  walker_steps_done_ += walker_steps_delta;
+  if (steps_counter_ != nullptr) {
+    // Registry-backed: identical to what a concurrent JSONL snapshot reports.
+    walker_steps_done_ = steps_counter_->Value() - steps_base_;
+  } else {
+    // Direct-drive fallback (OnStep without OnRunBegin — tests only).
+    walker_steps_done_ += walker_steps_delta;
+  }
   uint64_t now = TraceNowNs();
   if (static_cast<double>(now - last_print_ns_) < interval_s_ * 1e9) {
     return;
   }
   last_print_ns_ = now;
-  PrintLine(episode, step, live_walkers, /*final_line=*/false);
+  const uint64_t live =
+      live_gauge_ != nullptr ? static_cast<uint64_t>(live_gauge_->Value())
+                             : live_walkers;
+  PrintLine(episode, step, live, /*final_line=*/false);
 }
 
 void ProgressReporter::OnRunEnd() {

@@ -208,12 +208,22 @@ class TraceSpan {
 #define FM_TRACE_SPAN(category, name) \
   ::fm::TraceSpan FM_TRACE_CONCAT(fm_trace_span_, __LINE__)(category, name)
 
+namespace telemetry {
+class Counter;
+class Gauge;
+}  // namespace telemetry
+
 // Step-barrier progress heartbeat (opt-in via EngineOptions::progress /
 // `fmwalk --progress[=SECONDS]`). The engine's main thread calls OnStep after
 // every per-step barrier; the reporter prints at most once per interval:
 // episode/step position, live walkers, walker-steps/sec, ETA from the step
 // fraction, and the tracer's dropped-span count. interval_s == 0 prints every
 // step (tests, very long steps).
+//
+// Throughput and live-walker values are read from the telemetry registry
+// (fm.engine.walker_steps_total / fm.engine.live_walkers), the same cells the
+// JSONL exporter snapshots — so --progress and --telemetry-jsonl can never
+// disagree about how far a run has gotten.
 class ProgressReporter {
  public:
   explicit ProgressReporter(double interval_s = 10.0, std::FILE* out = nullptr);
@@ -232,6 +242,12 @@ class ProgressReporter {
 
   double interval_s_;
   std::FILE* out_;  // defaults to stderr
+  // Registry cells cached at OnRunBegin (lookups are mutex-guarded); the
+  // counter is cumulative across runs, so progress is measured against the
+  // base value captured when this run began.
+  telemetry::Counter* steps_counter_ = nullptr;
+  telemetry::Gauge* live_gauge_ = nullptr;
+  uint64_t steps_base_ = 0;
   uint64_t total_episodes_ = 0;
   uint32_t steps_per_episode_ = 0;
   uint64_t total_walkers_ = 0;

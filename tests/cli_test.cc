@@ -1,4 +1,5 @@
-// End-to-end smoke tests of the fmwalk CLI binary (path injected by CMake).
+// End-to-end smoke tests of the fmwalk and fmmon CLI binaries (paths injected
+// by CMake).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -6,11 +7,15 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "src/util/json.h"
 
 #ifndef FMWALK_PATH
 #error "FMWALK_PATH must be defined by the build"
+#endif
+#ifndef FMMON_PATH
+#error "FMMON_PATH must be defined by the build"
 #endif
 
 namespace {
@@ -146,6 +151,72 @@ TEST_F(CliTest, ShuffleBackendSelection) {
                            std::istreambuf_iterator<char>());
   ASSERT_FALSE(direct_paths.empty());
   EXPECT_EQ(direct_paths, binned_paths);
+}
+
+TEST_F(CliTest, TelemetryJsonlAgreesWithMetricsAndFmmonSummarizes) {
+  // A graph big enough that the run spans several 10ms snapshot intervals:
+  // the file must hold >= 2 mid-run lines plus the final cumulative line,
+  // and the final line's counters must equal fm-metrics-v1 exactly (the
+  // single-source-of-truth contract).
+  std::ofstream big(dir_ / "big.txt");
+  for (int v = 0; v < 5000; ++v) {
+    big << v << ' ' << (v + 1) % 5000 << '\n';
+    big << v << ' ' << (v + 13) % 5000 << '\n';
+  }
+  big.close();
+  auto jsonl = dir_ / "telemetry.jsonl";
+  auto metrics = dir_ / "telemetry_metrics.json";
+  int rc = Run("--graph=" + (dir_ / "big.txt").string() +
+               " --steps=40 --rounds=20 --telemetry-jsonl=" + jsonl.string() +
+               " --telemetry-interval-ms=10 --metrics-json=" +
+               metrics.string());
+  ASSERT_EQ(rc, 0);
+
+  std::ifstream in(jsonl);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_GE(lines.size(), 3u) << "expected >= 2 mid-run snapshots + final";
+  for (const std::string& line : lines) {
+    EXPECT_EQ(fm::json::ParseJson(line).Str("schema"), "fm-telemetry-v1");
+  }
+
+  std::ifstream min(metrics);
+  std::string mtext((std::istreambuf_iterator<char>(min)),
+                    std::istreambuf_iterator<char>());
+  fm::json::Value mdoc = fm::json::ParseJson(
+      mtext.substr(0, mtext.find_last_not_of('\n') + 1));
+  fm::json::Value last = fm::json::ParseJson(lines.back());
+  EXPECT_EQ(last.At("counters").Num("fm.engine.walker_steps_total"),
+            mdoc.At("run").Num("total_steps"));
+  EXPECT_EQ(last.At("counters").Num("fm.engine.episodes_total"), 1.0);
+  // Counters are cumulative: every snapshot is monotone in every counter.
+  double prev_steps = 0;
+  for (const std::string& line : lines) {
+    double steps = fm::json::ParseJson(line).At("counters").Num(
+        "fm.engine.walker_steps_total");
+    EXPECT_GE(steps, prev_steps);
+    prev_steps = steps;
+  }
+
+  // fmmon --summary over the same file renders percentiles for every
+  // histogram the final snapshot carries.
+  auto summary = dir_ / "summary.txt";
+  int mon_rc = std::system((std::string(FMMON_PATH) + " --summary " +
+                            jsonl.string() + " > " + summary.string() +
+                            " 2>/dev/null")
+                               .c_str());
+  ASSERT_EQ(mon_rc, 0);
+  std::ifstream sin(summary);
+  std::string stext((std::istreambuf_iterator<char>(sin)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(stext.find("p99"), std::string::npos);
+  for (const auto& [name, unused] : last.At("histograms").object) {
+    EXPECT_NE(stext.find(name), std::string::npos) << name;
+  }
 }
 
 TEST_F(CliTest, RejectsBadUsage) {

@@ -1,0 +1,11 @@
+#include <atomic>
+
+#include "src/util/sync.h"
+
+namespace fm {
+std::atomic<long> g_steps{0};
+
+FM_HOT_PATH void CountStep(long delta) {
+  g_steps.fetch_add(delta);
+}
+}  // namespace fm

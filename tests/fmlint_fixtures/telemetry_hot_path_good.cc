@@ -1,0 +1,16 @@
+#include <atomic>
+
+#include "src/util/sync.h"
+
+namespace fm {
+std::atomic<long> g_shard{0};
+
+// Single-writer shard: a relaxed store/load pair on a cell only this thread
+// writes is the sanctioned hot-path metric update.
+FM_HOT_PATH void CountStep(long delta) {
+  // relaxed: single-writer shard cell; folds tolerate staleness.
+  const long cur = g_shard.load(std::memory_order_relaxed);
+  // relaxed: same single-writer shard cell as the load above.
+  g_shard.store(cur + delta, std::memory_order_relaxed);
+}
+}  // namespace fm

@@ -57,22 +57,23 @@ std::multiset<std::pair<std::string, size_t>> RuleLines(
 
 using Expected = std::multiset<std::pair<std::string, size_t>>;
 
-TEST(FmlintRules, CatalogHasEighteenUniquelyNamedRules) {
+TEST(FmlintRules, CatalogHasNineteenUniquelyNamedRules) {
   auto rules = BuildDefaultRules();
-  ASSERT_EQ(rules.size(), 18u);
+  ASSERT_EQ(rules.size(), 19u);
   std::set<std::string> names;
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule->description().empty()) << rule->name();
     names.insert(std::string(rule->name()));
   }
-  EXPECT_EQ(names.size(), 18u) << "duplicate rule names";
+  EXPECT_EQ(names.size(), 19u) << "duplicate rule names";
   const char* expected[] = {"include-guard",  "banned-rng",    "naked-new",
                             "reinterpret-arith", "visit-counts-mut",
                             "raw-clock",      "perf-syscall",  "raw-mutex",
                             "relaxed-order",  "manual-lock",   "include-cycle",
                             "layer-dag",      "header-discipline",
                             "lock-order",     "hot-path-alloc",
-                            "hot-path-lock",  "hot-path-io",   "hot-path-div"};
+                            "hot-path-lock",  "hot-path-io",   "hot-path-div",
+                            "telemetry-hot-path"};
   for (const char* name : expected) {
     EXPECT_EQ(names.count(name), 1u) << "missing rule: " << name;
   }
@@ -334,6 +335,14 @@ TEST(FmlintHotPath, DivisionNeedsJustification) {
             (Expected{{"hot-path-div", 3}}));
   // `div:` on the same line and in the comment block above both justify.
   EXPECT_TRUE(LintOne("src/core/fxhot.cc", "hot_path_div_good.cc").empty());
+}
+
+TEST(FmlintHotPath, TelemetryUpdatesMustUseShardStores) {
+  EXPECT_EQ(
+      RuleLines(LintOne("src/core/fxhot.cc", "telemetry_hot_path_bad.cc")),
+      (Expected{{"telemetry-hot-path", 9}}));
+  EXPECT_TRUE(
+      LintOne("src/core/fxhot.cc", "telemetry_hot_path_good.cc").empty());
 }
 
 TEST(FmlintHotPath, AmbiguousCalleesDoNotPropagateHotness) {

@@ -1,0 +1,358 @@
+// Unit tests for the telemetry registry (src/util/telemetry.h): shard-fold
+// exactness under concurrency, log2 histogram bucket boundaries and
+// percentiles against the exact stats::Percentile, exporter output parsed
+// back through the shared JSON parser, the metric-name convention, and the
+// background snapshot writer's file contract (>=1 interval line plus a final
+// cumulative line).
+//
+// The registry is process-global, so every test uses names under a
+// test-unique module segment and calls ResetForTest() where counts matter;
+// instruments themselves are never removed (registry references are valid
+// for the process lifetime by design).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/json.h"
+#include "src/util/stats.h"
+#include "src/util/telemetry.h"
+
+namespace {
+
+using fm::telemetry::Counter;
+using fm::telemetry::Gauge;
+using fm::telemetry::Histogram;
+using fm::telemetry::HistogramSnapshot;
+using fm::telemetry::IsValidMetricName;
+using fm::telemetry::kHistogramBuckets;
+using fm::telemetry::TelemetryRegistry;
+using fm::telemetry::TelemetrySnapshotWriter;
+
+TEST(MetricNameTest, AcceptsConventionAndRejectsEverythingElse) {
+  EXPECT_TRUE(IsValidMetricName("fm.engine.walker_steps_total"));
+  EXPECT_TRUE(IsValidMetricName("fm.shuffle.pass1_ns_total"));
+  EXPECT_TRUE(IsValidMetricName("fm.a.b.c.d"));  // deeper nesting is fine
+  EXPECT_TRUE(IsValidMetricName("fm.mod2.metric_9"));
+
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("fm"));
+  EXPECT_FALSE(IsValidMetricName("fm.engine"));        // only two segments
+  EXPECT_FALSE(IsValidMetricName("engine.steps.total"));  // must start fm
+  EXPECT_FALSE(IsValidMetricName("fm..steps"));        // empty segment
+  EXPECT_FALSE(IsValidMetricName("fm.engine.steps."));  // trailing empty
+  EXPECT_FALSE(IsValidMetricName("fm.Engine.steps"));  // no uppercase
+  EXPECT_FALSE(IsValidMetricName("fm.engine.steps-total"));  // no dashes
+  EXPECT_FALSE(IsValidMetricName("fm.engine.steps total"));  // no spaces
+}
+
+TEST(CounterTest, SingleThreadAddFoldsExactly) {
+  Counter counter("fm.test.single_total");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(1);
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsFromManyThreadsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIters = 50000;
+  Counter counter("fm.test.concurrent_total");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        counter.Add(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // Each thread leases its own shard slot, so the fold is exact: no CAS
+  // retries to lose and no torn reads to double-count.
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge("fm.test.level");
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  gauge.Set(-3);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(HistogramTest, BucketBoundariesFollowBitWidth) {
+  Histogram hist("fm.test.bucket_ns");
+  // bucket b holds values with bit_width(v) == b: 0 -> 0, 1 -> 1,
+  // {2,3} -> 2, {4..7} -> 3, and the first value of each power of two
+  // starts a new bucket.
+  hist.Observe(0);
+  hist.Observe(1);
+  hist.Observe(2);
+  hist.Observe(3);
+  hist.Observe(4);
+  hist.Observe(7);
+  hist.Observe(8);
+  hist.Observe(1023);
+  hist.Observe(1024);
+  hist.Observe(~uint64_t{0});
+
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.buckets[0], 1u);   // {0}
+  EXPECT_EQ(snap.buckets[1], 1u);   // {1}
+  EXPECT_EQ(snap.buckets[2], 2u);   // {2,3}
+  EXPECT_EQ(snap.buckets[3], 2u);   // {4..7}
+  EXPECT_EQ(snap.buckets[4], 1u);   // {8..15}
+  EXPECT_EQ(snap.buckets[10], 1u);  // {512..1023}
+  EXPECT_EQ(snap.buckets[11], 1u);  // {1024..2047}
+  EXPECT_EQ(snap.buckets[64], 1u);  // >= 2^63
+  uint64_t expected_sum = 0 + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024;
+  expected_sum += ~uint64_t{0};  // wraps; Snapshot sums with the same wrap
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(HistogramTest, EmptyHistogramPercentileIsZero) {
+  Histogram hist("fm.test.empty_ns");
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Percentile(50), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileWithinOnePowerOfTwoOfExact) {
+  Histogram hist("fm.test.pct_ns");
+  std::vector<double> exact;
+  // A spread that crosses several buckets, with repeats.
+  for (uint64_t v : {3u, 5u, 9u, 17u, 17u, 100u, 1000u, 5000u, 70000u,
+                     70000u, 70000u, 1000000u}) {
+    hist.Observe(v);
+    exact.push_back(static_cast<double>(v));
+  }
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+  HistogramSnapshot snap = hist.Snapshot();
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double approx = snap.Percentile(p);
+    // stats::Percentile interpolates between order statistics, which can
+    // land far from any sample when ranks straddle a gap; the log2 buckets
+    // only promise one power-of-two of error against the *samples*. So
+    // bound against the order statistics that bracket the rank.
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const double lo = sorted[static_cast<size_t>(rank)];
+    const double hi = sorted[static_cast<size_t>(std::ceil(rank))];
+    EXPECT_GE(approx, lo / 2) << "p" << p;
+    EXPECT_LE(approx, hi * 2) << "p" << p;
+    // And the exact interpolated answer stays inside the same bracket, so
+    // the two implementations agree up to bucket quantization.
+    const double truth = fm::Percentile(exact, p);
+    EXPECT_GE(truth, lo);
+    EXPECT_LE(truth, hi);
+  }
+  // Extremes pin to the occupied bucket range.
+  EXPECT_GE(snap.Percentile(0), 2.0);         // smallest value 3 is in [2,3]
+  EXPECT_LE(snap.Percentile(100), 1 << 20);   // largest is in [2^19, 2^20)
+}
+
+TEST(HistogramTest, ConcurrentObservesLoseNoSamples) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIters = 20000;
+  Histogram hist("fm.test.hammer_ns");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        hist.Observe(static_cast<uint64_t>(t) * 1000 + (i & 255));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(hist.Snapshot().count, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(RegistryTest, LookupIsIdempotentAndReturnsStableReferences) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  Counter& a = registry.CounterRef("fm.test.idem_total");
+  Counter& b = registry.CounterRef("fm.test.idem_total");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.GaugeRef("fm.test.idem_level");
+  Gauge& g2 = registry.GaugeRef("fm.test.idem_level");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.HistogramRef("fm.test.idem_ns");
+  Histogram& h2 = registry.HistogramRef("fm.test.idem_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  registry.ResetForTest();
+  registry.CounterRef("fm.test.snap_b_total").Add(2);
+  registry.CounterRef("fm.test.snap_a_total").Add(1);
+  registry.GaugeRef("fm.test.snap_level").Set(5);
+  registry.HistogramRef("fm.test.snap_ns").Observe(100);
+
+  fm::telemetry::RegistrySnapshot snap = registry.Snapshot();
+  // Other tests may have registered more instruments; check ordering
+  // globally and our values by name.
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  uint64_t a = 0, b = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "fm.test.snap_a_total") a = c.value;
+    if (c.name == "fm.test.snap_b_total") b = c.value;
+  }
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  bool saw_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "fm.test.snap_ns") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 100u);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(RegistryTest, JsonLineParsesAndCarriesCumulativeValues) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  registry.ResetForTest();
+  registry.CounterRef("fm.test.json_total").Add(123);
+  registry.GaugeRef("fm.test.json_level").Set(-7);
+  Histogram& hist = registry.HistogramRef("fm.test.json_ns");
+  hist.Observe(5);
+  hist.Observe(1000);
+
+  const std::string line = registry.RenderJsonLine(987654321);
+  fm::json::Value doc = fm::json::ParseJson(line);
+  EXPECT_EQ(doc.Str("schema"), "fm-telemetry-v1");
+  EXPECT_EQ(doc.Num("t_ns"), 987654321.0);
+  EXPECT_EQ(doc.At("counters").Num("fm.test.json_total"), 123.0);
+  EXPECT_EQ(doc.At("gauges").Num("fm.test.json_level"), -7.0);
+
+  const fm::json::Value& h = doc.At("histograms").At("fm.test.json_ns");
+  EXPECT_EQ(h.Num("count"), 2.0);
+  EXPECT_EQ(h.Num("sum"), 1005.0);
+  EXPECT_TRUE(h.Has("p50"));
+  EXPECT_TRUE(h.Has("p90"));
+  EXPECT_TRUE(h.Has("p99"));
+  EXPECT_TRUE(h.Has("p999"));
+  // Non-empty buckets only: 5 -> bucket 3, 1000 -> bucket 10.
+  EXPECT_EQ(h.At("buckets").Num("3"), 1.0);
+  EXPECT_EQ(h.At("buckets").Num("10"), 1.0);
+}
+
+TEST(RegistryTest, PrometheusRenderHasTypesBucketsAndTotals) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  registry.ResetForTest();
+  registry.CounterRef("fm.test.prom_total").Add(9);
+  registry.GaugeRef("fm.test.prom_level").Set(4);
+  Histogram& hist = registry.HistogramRef("fm.test.prom_ns");
+  hist.Observe(3);   // bucket 2, le="3"
+  hist.Observe(300);  // bucket 9, le="511"
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE fm_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_total 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fm_test_prom_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_level 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fm_test_prom_ns histogram"), std::string::npos);
+  // Cumulative le-buckets: the le="3" bucket holds 1, le="511" holds 2, and
+  // +Inf always equals the count.
+  EXPECT_NE(text.find("fm_test_prom_ns_bucket{le=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_ns_bucket{le=\"511\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_ns_sum 303"), std::string::npos);
+  EXPECT_NE(text.find("fm_test_prom_ns_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesCountersAndHistogramsButKeepsGaugeLevels) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  Counter& counter = registry.CounterRef("fm.test.reset_total");
+  Gauge& gauge = registry.GaugeRef("fm.test.reset_level");
+  Histogram& hist = registry.HistogramRef("fm.test.reset_ns");
+  counter.Add(10);
+  gauge.Set(11);
+  hist.Observe(12);
+
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+  // A gauge is a level, not an accumulation — reset does not rewrite history.
+  EXPECT_EQ(gauge.Value(), 11);
+}
+
+TEST(SnapshotWriterTest, WritesIntervalLinesAndFinalCumulativeLine) {
+  TelemetryRegistry& registry = TelemetryRegistry::Get();
+  registry.ResetForTest();
+  Counter& counter = registry.CounterRef("fm.test.writer_total");
+
+  const std::string path = testing::TempDir() + "/telemetry_writer_test.jsonl";
+  {
+    TelemetrySnapshotWriter writer(path, 5);
+    EXPECT_FALSE(writer.started());
+    ASSERT_TRUE(writer.Start());
+    EXPECT_TRUE(writer.started());
+    counter.Add(17);
+    // Let the 5ms interval tick a few times so the file gets mid-run lines.
+    while (writer.lines_written() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    counter.Add(25);
+    writer.Stop();
+    EXPECT_GE(writer.lines_written(), 3u);
+    writer.Stop();  // idempotent
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_GE(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    fm::json::Value doc = fm::json::ParseJson(line);
+    EXPECT_EQ(doc.Str("schema"), "fm-telemetry-v1");
+  }
+  // The final line is written after the loop thread joins, so it must hold
+  // the end-of-run cumulative value.
+  fm::json::Value last = fm::json::ParseJson(lines.back());
+  EXPECT_EQ(last.At("counters").Num("fm.test.writer_total"), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterTest, StartFailsOnUnopenablePath) {
+  TelemetrySnapshotWriter writer(
+      testing::TempDir() + "/no_such_dir_for_telemetry/out.jsonl", 50);
+  EXPECT_FALSE(writer.Start());
+  writer.Stop();  // must be safe without a successful Start
+}
+
+}  // namespace

@@ -466,6 +466,52 @@ class HotPathDivRule : public HotPathRule {
   }
 };
 
+class TelemetryHotPathRule : public HotPathRule {
+ public:
+  using HotPathRule::HotPathRule;
+
+  std::string_view name() const override { return "telemetry-hot-path"; }
+  std::string_view description() const override {
+    return "no shared-atomic RMW or mutex-guarded metric updates inside the "
+           "FM_HOT_PATH closure; hot metric updates use per-thread telemetry "
+           "shard stores";
+  }
+
+ protected:
+  void ScanHot(const FunctionInfo& fn, const std::string& chain,
+               DiagSink& sink) override {
+    // Shared-cell RMWs ping-pong the cache line between workers — exactly the
+    // contention the per-thread shard design (src/util/telemetry.h) exists to
+    // avoid. Single-writer relaxed store/load pairs stay legal.
+    static const std::set<std::string> kAtomicRmw = {
+        "fetch_add",  "fetch_sub",
+        "fetch_and",  "fetch_or",
+        "fetch_xor",  "exchange",
+        "compare_exchange_weak", "compare_exchange_strong"};
+    // Registry lookups and renders take TelemetryRegistry::mutex_; cache the
+    // instrument reference at setup instead.
+    static const std::set<std::string> kRegistryCalls = {
+        "CounterRef", "GaugeRef", "HistogramRef", "RenderPrometheus",
+        "RenderJsonLine"};
+    for (const CallSite& c : fn.calls) {
+      if (kAtomicRmw.count(c.name) != 0) {
+        AddOnce(fn.file, c.line,
+                "shared-atomic RMW '" + c.name + "' in hot path", chain,
+                "update a per-thread telemetry shard (telemetry::Counter::Add "
+                "/ Histogram::Observe) and fold at the stage barrier",
+                sink);
+      } else if (kRegistryCalls.count(c.name) != 0) {
+        AddOnce(fn.file, c.line,
+                "mutex-guarded telemetry call '" + c.name + "' in hot path",
+                chain,
+                "look the instrument up at setup and cache the reference; hot "
+                "code touches only its own shard",
+                sink);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Rule> MakeLayerDagRule() {
@@ -489,15 +535,20 @@ std::unique_ptr<Rule> MakeHotPathIoRule(std::shared_ptr<WholeProgram> wp) {
 std::unique_ptr<Rule> MakeHotPathDivRule(std::shared_ptr<WholeProgram> wp) {
   return std::make_unique<HotPathDivRule>(std::move(wp));
 }
+std::unique_ptr<Rule> MakeTelemetryHotPathRule(
+    std::shared_ptr<WholeProgram> wp) {
+  return std::make_unique<TelemetryHotPathRule>(std::move(wp));
+}
 
 std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules() {
-  auto wp = std::make_shared<WholeProgram>(5);
+  auto wp = std::make_shared<WholeProgram>(6);
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(MakeLockOrderRule(wp));
   rules.push_back(MakeHotPathAllocRule(wp));
   rules.push_back(MakeHotPathLockRule(wp));
   rules.push_back(MakeHotPathIoRule(wp));
   rules.push_back(MakeHotPathDivRule(wp));
+  rules.push_back(MakeTelemetryHotPathRule(wp));
   return rules;
 }
 

@@ -19,6 +19,9 @@
 //                      hot-path closure.
 //   hot-path-div       per-element `/` or `%` inside the hot-path closure
 //                      needs an adjacent `div:` justification comment.
+//   telemetry-hot-path no shared-atomic RMW (fetch_add etc.) or mutex-guarded
+//                      telemetry registry calls inside the hot-path closure;
+//                      hot metric updates use per-thread shard stores.
 #ifndef TOOLS_FMLINT_ANALYSIS_H_
 #define TOOLS_FMLINT_ANALYSIS_H_
 
@@ -40,8 +43,10 @@ std::unique_ptr<Rule> MakeHotPathAllocRule(std::shared_ptr<WholeProgram> wp);
 std::unique_ptr<Rule> MakeHotPathLockRule(std::shared_ptr<WholeProgram> wp);
 std::unique_ptr<Rule> MakeHotPathIoRule(std::shared_ptr<WholeProgram> wp);
 std::unique_ptr<Rule> MakeHotPathDivRule(std::shared_ptr<WholeProgram> wp);
+std::unique_ptr<Rule> MakeTelemetryHotPathRule(std::shared_ptr<WholeProgram> wp);
 
-// All five whole-program rules wired to a fresh shared WholeProgram.
+// All six call-graph-backed whole-program rules wired to a fresh shared
+// WholeProgram.
 std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules();
 
 }  // namespace fmlint

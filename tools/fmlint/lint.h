@@ -96,8 +96,8 @@ class Engine {
 };
 
 // The registered rule set: the eleven per-line/per-tree rules
-// (tools/fmlint/rules.cc) plus the seven whole-program rules — layer-dag,
-// header-discipline, lock-order, and the hot-path family
+// (tools/fmlint/rules.cc) plus the eight whole-program rules — layer-dag,
+// header-discipline, lock-order, the hot-path family, and telemetry-hot-path
 // (tools/fmlint/analysis.cc).
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();
 

@@ -32,6 +32,13 @@
 //                     chunks, observer merges) and write Chrome trace-event /
 //                     Perfetto JSON to F — open it in ui.perfetto.dev or feed
 //                     it to `fmtrace`
+//   --telemetry-jsonl=F       append one fm-telemetry-v1 JSON line to F every
+//                     interval while the walk runs (background snapshot
+//                     thread), plus a final line with the end-of-run cumulative
+//                     values; tail it live with `fmmon F` or summarize with
+//                     `fmmon --summary F`
+//   --telemetry-interval-ms=N snapshot interval for --telemetry-jsonl
+//                     (default 1000)
 //   --progress[=SEC]  live heartbeat to stderr every SEC seconds (default 10):
 //                     episode/step position, live walkers, steps/sec, ETA, and
 //                     the dropped-span count; driven from the engine's per-step
@@ -74,6 +81,8 @@ struct Args {
   std::string pairs_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string telemetry_path;
+  uint32_t telemetry_interval_ms = 1000;
   bool progress = false;
   double progress_interval_s = 10.0;
   bool stats = false;
@@ -99,8 +108,9 @@ int Usage(const char* self) {
                "[--weighted] [--stop=F]\n"
                "  [--seed=N] [--out=paths.txt] [--pairs=pairs.txt] [--stats] "
                "[--profile] [--metrics-json=metrics.json]\n"
-               "  [--trace-json=trace.json] [--progress[=SECONDS]] "
-               "[--shuffle=direct|binned|auto] [--interleave=auto|N]\n",
+               "  [--trace-json=trace.json] [--telemetry-jsonl=out.jsonl] "
+               "[--telemetry-interval-ms=N] [--progress[=SECONDS]]\n"
+               "  [--shuffle=direct|binned|auto] [--interleave=auto|N]\n",
                self);
   return 2;
 }
@@ -146,6 +156,10 @@ int main(int argc, char** argv) {
       args.metrics_path = value;
     } else if (ParseFlag(a, "--trace-json", &value)) {
       args.trace_path = value;
+    } else if (ParseFlag(a, "--telemetry-jsonl", &value)) {
+      args.telemetry_path = value;
+    } else if (ParseFlag(a, "--telemetry-interval-ms", &value)) {
+      args.telemetry_interval_ms = static_cast<uint32_t>(std::stoul(value));
     } else if (std::strcmp(a, "--progress") == 0) {
       args.progress = true;
     } else if (ParseFlag(a, "--progress", &value)) {
@@ -238,8 +252,27 @@ int main(int argc, char** argv) {
     if (args.progress) {
       engine_options.progress = &progress;
     }
+    // Telemetry snapshots cover the walk itself; Stop() before the metrics
+    // JSON is written, so the file's final line and fm-metrics-v1 both hold
+    // the same end-of-run counter values.
+    telemetry::TelemetrySnapshotWriter telemetry_writer(
+        args.telemetry_path, args.telemetry_interval_ms);
+    if (!args.telemetry_path.empty() && !telemetry_writer.Start()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.telemetry_path.c_str());
+      return 1;
+    }
     FlashMobEngine engine(sorted.graph, engine_options);
     WalkResult result = engine.Run(spec);
+    telemetry_writer.Stop();
+    if (!args.telemetry_path.empty()) {
+      std::fprintf(stderr,
+                   "wrote %llu telemetry snapshots to %s — summarize with: "
+                   "fmmon --summary %s\n",
+                   static_cast<unsigned long long>(
+                       telemetry_writer.lines_written()),
+                   args.telemetry_path.c_str(), args.telemetry_path.c_str());
+    }
     if (!args.trace_path.empty()) {
       Tracer& tracer = Tracer::Get();
       tracer.Disable();
@@ -264,6 +297,24 @@ int main(int argc, char** argv) {
                  result.stats.times.sample_s, result.stats.times.shuffle_s,
                  result.stats.shuffle_backend.c_str(),
                  result.stats.times.other_s, result.stats.episodes);
+    // Per-step wall-time spread from the telemetry histogram the engine fills
+    // at stage barriers — the same source every exporter reads, so this line
+    // can never disagree with --telemetry-jsonl (stats::Percentile over an
+    // ad-hoc vector of step times would be a second, divergent aggregation).
+    {
+      telemetry::HistogramSnapshot step_ns =
+          telemetry::TelemetryRegistry::Get()
+              .HistogramRef("fm.engine.step_ns")
+              .Snapshot();
+      if (step_ns.count > 0) {
+        std::fprintf(stderr,
+                     "per-step wall time: mean %.0f ns, p50 %.0f, p99 %.0f "
+                     "(%llu steps, log2 buckets)\n",
+                     step_ns.Mean(), step_ns.Percentile(50),
+                     step_ns.Percentile(99),
+                     static_cast<unsigned long long>(step_ns.count));
+      }
+    }
 
     // ---- output ------------------------------------------------------------------
     if (!args.metrics_path.empty()) {
