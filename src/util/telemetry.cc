@@ -159,7 +159,8 @@ void Histogram::ResetForTest() {
       // relaxed: test-only reset; callers guarantee no concurrent writers.
       shard.buckets[b].store(0, std::memory_order_relaxed);
     }
-    // relaxed: see above.
+    // relaxed: test-only reset, same no concurrent writers guarantee as the
+    // bucket stores above.
     shard.sum.store(0, std::memory_order_relaxed);
   }
 }

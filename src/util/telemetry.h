@@ -125,8 +125,8 @@ class Gauge {
 
   void Set(int64_t value) {
     // relaxed: a gauge is a level signal; readers only want some recent
-    // value, and the stage barriers that surround Set provide any ordering
-    // the engine itself needs.
+    // value, and anything the engine itself needs is ordered by the stage
+    // barriers that surround Set.
     value_.store(value, std::memory_order_relaxed);
   }
 

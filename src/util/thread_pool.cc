@@ -133,8 +133,8 @@ void ThreadPool::ParallelFor(uint64_t tasks,
     FM_CHECK_MSG(job_ == nullptr, "ParallelFor is not reentrant");
     job_ = &body;
     job_tasks_ = tasks;
-    // relaxed: reset is published to workers by the epoch bump below, whose
-    // mutex release/acquire pair orders it before any worker's fetch_add.
+    // relaxed: the reset is ordered by the epoch bump below, whose mutex
+    // release/acquire pair publishes it before any worker's fetch_add.
     next_task_.store(0, std::memory_order_relaxed);
     workers_running_ = static_cast<uint32_t>(workers_.size());
     ++job_epoch_;

@@ -54,20 +54,23 @@ Tracer& Tracer::Get() {
 void Tracer::Enable(size_t events_per_thread) {
   MutexLock lock(mutex_);
   capacity_ = std::max<size_t>(events_per_thread, 1);
-  // relaxed: enabling mid-span is inherently approximate; ring registration
-  // synchronizes through mutex_ when a thread first records.
+  // relaxed: enabling mid-span is inherently approximate; a thread's first
+  // record is ordered by the mutex_ ring-registration handshake.
   enabled_flag_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::Disable() {
-  // relaxed: in-flight spans may still complete their push; see enabled().
+  // relaxed: storing false is idempotent, so concurrent Disables are
+  // commutative; in-flight spans may still complete their push (see
+  // enabled()).
   enabled_flag_.store(false, std::memory_order_relaxed);
 }
 
 void Tracer::Reset() {
   MutexLock lock(mutex_);
-  // relaxed: Reset requires no live spans by contract; the epoch bump below
-  // (release) is what invalidates cached ring pointers.
+  // relaxed: Reset requires no live spans by contract, and the flag flip is
+  // ordered by the epoch bump below (release), which invalidates cached ring
+  // pointers.
   enabled_flag_.store(false, std::memory_order_relaxed);
   buffers_.clear();
   capacity_ = kDefaultCapacity;

@@ -59,7 +59,8 @@ class TraceRingBuffer {
     // only consume the counter value, and event payloads are read post-quiesce.
     uint64_t h = head_.load(std::memory_order_relaxed);
     events_[h % events_.size()] = event;
-    // relaxed: see above — the export path runs after writers quiesce.
+    // relaxed: same single-writer counter as the load above; the export path
+    // runs after writers quiesce.
     head_.store(h + 1, std::memory_order_relaxed);
   }
 

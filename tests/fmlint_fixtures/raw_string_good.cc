@@ -1,0 +1,13 @@
+namespace fm {
+// Raw string contents are data, not code: nothing in here may trip keyword
+// rules even though the text names banned constructs. The embedded quotes are
+// the regression: a lexer without raw-string support toggles out of the
+// string at the inner `"` and reads the banned names as code.
+const char* Doc() {
+  return R"doc(prose with a "quoted" bit, then
+std::mutex and std::mt19937 and std::chrono::steady_clock::now()
+)doc";
+}
+
+const char* Empty() { return R"()"; }
+}  // namespace fm

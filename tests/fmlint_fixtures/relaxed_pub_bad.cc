@@ -1,0 +1,29 @@
+#include <atomic>
+
+namespace fm {
+struct Node {
+  int value;
+};
+
+std::atomic<Node*> g_head{nullptr};
+std::atomic<unsigned long long> g_count{0};
+Node g_pool[16];
+
+void Publish(int v) {
+  Node* n = &g_pool[0];
+  n->value = v;
+  // relaxed: fast publish.
+  g_head.store(n, std::memory_order_relaxed);
+}
+
+int Consume() {
+  // relaxed: fast read.
+  Node* n = g_head.load(std::memory_order_relaxed);
+  return n->value;
+}
+
+void Count() {
+  // relaxed: counter bump.
+  g_count.store(1, std::memory_order_relaxed);
+}
+}  // namespace fm

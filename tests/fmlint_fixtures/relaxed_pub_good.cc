@@ -1,0 +1,15 @@
+#include <atomic>
+
+namespace fm {
+std::atomic<long> g_cell{0};
+std::atomic<long> g_total{0};
+
+void Bump(long delta) {
+  // relaxed: single-writer shard cell; the fold runs after quiesce.
+  const long cur = g_cell.load(std::memory_order_relaxed);
+  // relaxed: same single-writer cell as the load above.
+  g_cell.store(cur + delta, std::memory_order_relaxed);
+  // relaxed: commutative accumulation; order does not matter.
+  g_total.fetch_add(delta, std::memory_order_relaxed);
+}
+}  // namespace fm

@@ -1,0 +1,14 @@
+namespace fm {
+struct XorShiftRng {
+  explicit XorShiftRng(unsigned long long seed);
+  unsigned long long Next();
+};
+
+// The PR 3 placement-bug shape: the stream id depends on how many threads the
+// pool happened to get, so walks change with machine / pool size.
+FM_HOT_PATH unsigned long long StepWalker(unsigned long long base_seed,
+                                          unsigned int num_threads) {
+  XorShiftRng rng(DeriveSeed(base_seed, num_threads));
+  return rng.Next();
+}
+}  // namespace fm

@@ -1,0 +1,18 @@
+namespace fm {
+struct XorShiftRng {
+  explicit XorShiftRng(unsigned long long seed);
+  unsigned long long Next();
+};
+
+// A pure passthrough helper: the interprocedural summary must propagate
+// WalkerSeed provenance through Remix into the construction below.
+unsigned long long Remix(unsigned long long seed) {
+  return SplitMix64(seed);
+}
+
+FM_HOT_PATH unsigned long long StepWalker(unsigned long long chunk_seed,
+                                          unsigned long long walker_index) {
+  XorShiftRng rng(Remix(WalkerSeed(chunk_seed, walker_index)));
+  return rng.Next();
+}
+}  // namespace fm

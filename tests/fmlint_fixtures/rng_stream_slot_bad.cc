@@ -1,0 +1,13 @@
+namespace fm {
+struct SplitRng {
+  void Seed(unsigned long long s);
+};
+
+SplitRng g_rngs[64];
+
+// Reseeding by ring slot ties the stream to buffer placement, not to the
+// walker; two runs with different ring occupancy diverge.
+FM_HOT_PATH void Refill(unsigned long long chunk_seed, unsigned int slot) {
+  g_rngs[slot].Seed(DeriveSeed(chunk_seed, slot));
+}
+}  // namespace fm

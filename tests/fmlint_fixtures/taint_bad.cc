@@ -1,0 +1,16 @@
+#include <vector>
+
+namespace fm {
+unsigned long long LoadScalar(const char* p);
+
+// A header-derived count used raw: the allocation, the loop bound, and the
+// index are all attacker-controlled by a corrupt file.
+void ReadBlock(const char* base) {
+  unsigned long long n = LoadScalar(base);
+  std::vector<int> items(n);
+  for (unsigned long long i = 0; i < n; ++i) {
+    items[i] = 0;
+  }
+  items[n - 1] = 1;
+}
+}  // namespace fm

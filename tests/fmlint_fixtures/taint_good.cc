@@ -1,0 +1,19 @@
+#include <vector>
+
+namespace fm {
+unsigned long long LoadScalar(const char* p);
+
+void ReadBlock(const char* base, unsigned long long file_size) {
+  unsigned long long n = LoadScalar(base);
+  if (n > file_size) {
+    return;
+  }
+  // Sanitized: the bound comparison above clears the taint on both branches.
+  std::vector<int> items(n);
+
+  unsigned long long hint = LoadScalar(base + 8);
+  // taint: capacity hint only; a huge value wastes one reserve call but
+  // cannot index or overflow anything.
+  items.reserve(hint);
+}
+}  // namespace fm

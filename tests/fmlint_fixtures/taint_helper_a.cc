@@ -1,0 +1,10 @@
+namespace fm {
+namespace io {
+unsigned long long LoadScalar(const char* p);
+
+// Taint source behind a helper: callers in other TUs only see the summary.
+unsigned long long ReadCount(const char* base) {
+  return LoadScalar(base);
+}
+}  // namespace io
+}  // namespace fm

@@ -1,0 +1,8 @@
+#include <vector>
+
+namespace fm {
+void Consume(const char* base) {
+  unsigned long long n = ReadCount(base);
+  std::vector<int> items(n);
+}
+}  // namespace fm

@@ -1,0 +1,10 @@
+namespace fm {
+namespace alt {
+// A second ReadCount definition: the simple-name call in taint_helper_b.cc
+// becomes ambiguous, and the analysis deliberately under-approximates
+// (no provenance) rather than guess.
+unsigned long long ReadCount(const char* base) {
+  return 7;
+}
+}  // namespace alt
+}  // namespace fm

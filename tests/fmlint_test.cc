@@ -1,10 +1,12 @@
-// Self-tests for the fmlint v3 rule engine: every rule — the per-line rules
-// and the whole-program families (layer-dag, header-discipline, lock-order,
-// hot-path-*) — is driven over the intentionally-violating fixtures in
-// tests/fmlint_fixtures/ through the exact production path (Engine::Lint),
-// the suppression machinery (allow / disable-enable blocks, unused- and
-// bad-suppression errors) is exercised end to end, --fix is checked for
-// idempotency, and the real repo tree is gated to zero findings via
+// Self-tests for the fmlint v4 rule engine: every rule — the per-line rules,
+// the whole-program families (layer-dag, header-discipline, lock-order,
+// hot-path-*), and the data-flow trio (rng-stream-discipline,
+// untrusted-input-taint, relaxed-publication) — is driven over the
+// intentionally-violating fixtures in tests/fmlint_fixtures/ through the
+// exact production path (Engine::Lint), the suppression machinery (allow /
+// disable-enable blocks, unused- and bad-suppression errors) is exercised end
+// to end, --fix is checked for idempotency, the CFG / summary layer gets
+// direct unit coverage, and the real repo tree is gated to zero findings via
 // Engine::LintTree. The fixture directory itself is excluded from
 // Engine::LintTree, so these snippets never pollute the repo lint gate.
 #include <fstream>
@@ -17,6 +19,7 @@
 
 #include "gtest/gtest.h"
 #include "src/util/json.h"
+#include "tools/fmlint/dataflow.h"
 #include "tools/fmlint/fix.h"
 #include "tools/fmlint/lint.h"
 #include "tools/fmlint/parse.h"
@@ -57,15 +60,15 @@ std::multiset<std::pair<std::string, size_t>> RuleLines(
 
 using Expected = std::multiset<std::pair<std::string, size_t>>;
 
-TEST(FmlintRules, CatalogHasNineteenUniquelyNamedRules) {
+TEST(FmlintRules, CatalogHasTwentyTwoUniquelyNamedRules) {
   auto rules = BuildDefaultRules();
-  ASSERT_EQ(rules.size(), 19u);
+  ASSERT_EQ(rules.size(), 22u);
   std::set<std::string> names;
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule->description().empty()) << rule->name();
     names.insert(std::string(rule->name()));
   }
-  EXPECT_EQ(names.size(), 19u) << "duplicate rule names";
+  EXPECT_EQ(names.size(), 22u) << "duplicate rule names";
   const char* expected[] = {"include-guard",  "banned-rng",    "naked-new",
                             "reinterpret-arith", "visit-counts-mut",
                             "raw-clock",      "perf-syscall",  "raw-mutex",
@@ -73,7 +76,10 @@ TEST(FmlintRules, CatalogHasNineteenUniquelyNamedRules) {
                             "layer-dag",      "header-discipline",
                             "lock-order",     "hot-path-alloc",
                             "hot-path-lock",  "hot-path-io",   "hot-path-div",
-                            "telemetry-hot-path"};
+                            "telemetry-hot-path",
+                            "rng-stream-discipline",
+                            "untrusted-input-taint",
+                            "relaxed-publication"};
   for (const char* name : expected) {
     EXPECT_EQ(names.count(name), 1u) << "missing rule: " << name;
   }
@@ -485,6 +491,269 @@ TEST(FmlintFix, IncludeGuardRenameConvergesAndIsIdempotent) {
   }
   std::string again = text;
   EXPECT_EQ(fmlint::ApplyFixesToText("src/fixture_bad.h", &again), 0u);
+}
+
+TEST(FmlintFix, TaintJustificationStubsInsertAndConverge) {
+  Engine engine(BuildDefaultRules());
+  std::string text = ReadFixture("taint_bad.cc");
+  auto diags = engine.Lint({{"src/graph/fxt.cc", text}});
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(
+      fmlint::InsertTaintJustifications(diags, "src/graph/fxt.cc", &text), 3u);
+  // The stubs carry the `taint:` tag, so the findings are now justified (a
+  // human is expected to replace the FIXME text with the real argument).
+  Engine again(BuildDefaultRules());
+  auto rediags = again.Lint({{"src/graph/fxt.cc", text}});
+  for (const auto& d : rediags) {
+    EXPECT_NE(d.rule, "untrusted-input-taint") << d.line << ": " << d.message;
+  }
+  // With no taint findings left, a second insertion pass is a no-op.
+  std::string before = text;
+  EXPECT_EQ(
+      fmlint::InsertTaintJustifications(rediags, "src/graph/fxt.cc", &text),
+      0u);
+  EXPECT_EQ(text, before);
+}
+
+// --- data-flow layer: CFGs and summaries -------------------------------------
+
+TEST(FmlintDataflow, CfgLoopHasCondBlockAndBackEdge) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "int Sum(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    s += i;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  auto fns = fmlint::ParseFunctions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  fmlint::Cfg cfg = fmlint::BuildCfg(fns[0]);
+  size_t header = cfg.blocks.size();
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].cond == fmlint::BasicBlock::Cond::kLoop) {
+      header = i;
+    }
+  }
+  ASSERT_LT(header, cfg.blocks.size()) << "no loop-condition block";
+  EXPECT_EQ(cfg.blocks[header].cond_line, 3u);
+  // The loop body must edge back to the condition block.
+  bool back_edge = false;
+  for (size_t i = header; i < cfg.blocks.size(); ++i) {
+    for (size_t s : cfg.blocks[i].succs) {
+      back_edge = back_edge || (s == header && i != header);
+    }
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(FmlintDataflow, CfgEarlyReturnEdgesToExit) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "int Pick(int x) {\n"
+      "  if (x > 0) {\n"
+      "    return 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  auto fns = fmlint::ParseFunctions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  fmlint::Cfg cfg = fmlint::BuildCfg(fns[0]);
+  size_t return_blocks = 0;
+  for (const fmlint::BasicBlock& b : cfg.blocks) {
+    bool returns = false;
+    for (const fmlint::Statement& s : b.stmts) {
+      returns = returns || s.is_return;
+    }
+    if (!returns) {
+      continue;
+    }
+    ++return_blocks;
+    EXPECT_EQ(b.succs, std::vector<size_t>{cfg.exit});
+  }
+  EXPECT_EQ(return_blocks, 2u);
+}
+
+TEST(FmlintDataflow, CfgSwitchFansOutPerCase) {
+  fmlint::SourceFile f = fmlint::PrepareSource(
+      "src/fx.cc",
+      "int Tag(int k) {\n"
+      "  switch (k) {\n"
+      "    case 0:\n"
+      "      return 10;\n"
+      "    case 1:\n"
+      "      return 11;\n"
+      "    default:\n"
+      "      return 12;\n"
+      "  }\n"
+      "}\n");
+  auto fns = fmlint::ParseFunctions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  fmlint::Cfg cfg = fmlint::BuildCfg(fns[0]);
+  size_t head = cfg.blocks.size();
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].cond == fmlint::BasicBlock::Cond::kSwitch) {
+      head = i;
+    }
+  }
+  ASSERT_LT(head, cfg.blocks.size()) << "no switch block";
+  // Two cases, a default, and the fall-past edge.
+  EXPECT_GE(cfg.blocks[head].succs.size(), 3u);
+}
+
+TEST(FmlintDataflow, CrossTuSummaryCarriesTaint) {
+  fmlint::WholeProgram wp(1);
+  wp.AddFile(
+      fmlint::PrepareSource("src/graph/fxa.cc", ReadFixture("taint_helper_a.cc")));
+  wp.AddFile(
+      fmlint::PrepareSource("src/graph/fxb.cc", ReadFixture("taint_helper_b.cc")));
+  wp.EnsureAnalyzed();
+  fmlint::DataFlow df(wp);
+  const auto& fns = wp.functions();
+  bool checked = false;
+  for (size_t i = 0; i < fns.size(); ++i) {
+    if (fns[i].qualified.find("ReadCount") == std::string::npos) {
+      continue;
+    }
+    // ReadCount returns LoadScalar(...) — the summary must expose the taint
+    // so callers in other TUs inherit it.
+    EXPECT_NE(df.summary(i).returns & fmlint::kProvUntrusted, 0u);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+  wp.Release();
+}
+
+// --- data-flow rule family ---------------------------------------------------
+
+TEST(FmlintDataflowRules, ThreadCountSeedIsThePlacementBug) {
+  // The PR 3 determinism-bug shape: seeding with a pool-size-derived value
+  // makes the walk depend on thread placement.
+  EXPECT_EQ(RuleLines(LintOne("src/core/fxr.cc", "rng_stream_bad.cc")),
+            (Expected{{"rng-stream-discipline", 11}}));
+}
+
+TEST(FmlintDataflowRules, SlotDerivedSeedFires) {
+  EXPECT_EQ(RuleLines(LintOne("src/core/fxr.cc", "rng_stream_slot_bad.cc")),
+            (Expected{{"rng-stream-discipline", 11}}));
+}
+
+TEST(FmlintDataflowRules, WalkerSeedThroughHelperIsClean) {
+  // WalkerSeed provenance survives the Remix passthrough via its summary.
+  EXPECT_TRUE(LintOne("src/core/fxr.cc", "rng_stream_good.cc").empty());
+}
+
+TEST(FmlintDataflowRules, TaintedAllocLoopBoundAndIndexFire) {
+  EXPECT_EQ(RuleLines(LintOne("src/graph/fxt.cc", "taint_bad.cc")),
+            (Expected{{"untrusted-input-taint", 10},
+                      {"untrusted-input-taint", 11},
+                      {"untrusted-input-taint", 14}}));
+}
+
+TEST(FmlintDataflowRules, BoundCheckAndTaintCommentSanitize) {
+  EXPECT_TRUE(LintOne("src/graph/fxt.cc", "taint_good.cc").empty());
+}
+
+TEST(FmlintDataflowRules, CrossTuTaintFlowsThroughSummaries) {
+  Engine engine(BuildDefaultRules());
+  auto diags =
+      engine.Lint({{"src/graph/fxa.cc", ReadFixture("taint_helper_a.cc")},
+                   {"src/graph/fxb.cc", ReadFixture("taint_helper_b.cc")}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "untrusted-input-taint");
+  EXPECT_EQ(diags[0].file, "src/graph/fxb.cc");
+  EXPECT_EQ(diags[0].line, 6u);
+}
+
+TEST(FmlintDataflowRules, AmbiguousCalleeUnderApproximates) {
+  // A second ReadCount definition makes the simple-name call unresolvable;
+  // the analysis drops the provenance instead of guessing, so no finding.
+  Engine engine(BuildDefaultRules());
+  EXPECT_TRUE(
+      engine
+          .Lint({{"src/graph/fxa.cc", ReadFixture("taint_helper_a.cc")},
+                 {"src/graph/fxb.cc", ReadFixture("taint_helper_b.cc")},
+                 {"src/graph/fxc.cc", ReadFixture("taint_helper_c.cc")}})
+          .empty());
+}
+
+TEST(FmlintDataflowRules, PointerPublishPairingAndKeywordFire) {
+  // Line 16: pointer-publishing relaxed store; line 21: the load that pairs
+  // with it; line 27: a store whose `relaxed:` comment states no discipline.
+  EXPECT_EQ(RuleLines(LintOne("src/util/fxp.cc", "relaxed_pub_bad.cc")),
+            (Expected{{"relaxed-publication", 16},
+                      {"relaxed-publication", 21},
+                      {"relaxed-publication", 27}}));
+}
+
+TEST(FmlintDataflowRules, DisciplinedRelaxedStoresAreClean) {
+  EXPECT_TRUE(LintOne("src/util/fxp.cc", "relaxed_pub_good.cc").empty());
+}
+
+// --- raw string literals -----------------------------------------------------
+
+TEST(FmlintEngine, RawStringLiteralsAreBlankedWithLineStructure) {
+  std::string stripped = fmlint::StripCommentsAndStrings(
+      "const char* d = R\"doc(line \"one\"\n"
+      "std::mutex line two)doc\";\n"
+      "int after = 1;\n");
+  auto lines = fmlint::SplitLines(stripped);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(stripped.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(stripped.find("doc"), std::string::npos) << "delimiter leaked";
+  EXPECT_EQ(stripped.find("one"), std::string::npos)
+      << "inner quote ended the raw string early";
+  EXPECT_NE(lines[2].find("int after = 1;"), std::string::npos);
+}
+
+TEST(FmlintEngine, RawStringContentsTripNoKeywordRules) {
+  EXPECT_TRUE(LintOne("tests/fx.cc", "raw_string_good.cc").empty());
+}
+
+// --- timings and SARIF -------------------------------------------------------
+
+TEST(FmlintEngine, JsonTimingsArePerRuleAndAdditive) {
+  Engine engine(BuildDefaultRules());
+  auto diags =
+      engine.Lint({{"tests/fx.cc", ReadFixture("banned_rng_good.cc")}});
+  ASSERT_EQ(engine.rule_timings().size(), 22u);
+  std::string json = fmlint::DiagnosticsToJson(diags, engine.files_linted(),
+                                               &engine.rule_timings());
+  fm::json::Value doc = fm::json::ParseJson(json);
+  EXPECT_EQ(doc.Str("schema"), "fmlint-v2");
+  const fm::json::Value& timings = doc.At("timings");
+  EXPECT_GE(timings.Num("total_ms"), 0.0);
+  EXPECT_TRUE(timings.Has("rng-stream-discipline"));
+  EXPECT_TRUE(timings.Has("include-guard"));
+  // Omitting the pointer keeps the fmlint-v2 document shape unchanged.
+  std::string legacy = fmlint::DiagnosticsToJson(diags, engine.files_linted());
+  EXPECT_EQ(legacy.find("timings"), std::string::npos);
+}
+
+TEST(FmlintEngine, SarifCarriesRulesResultsAndClampsLines) {
+  Engine engine(BuildDefaultRules());
+  auto diags =
+      engine.Lint({{"tests/fx.cc", ReadFixture("raw_mutex_bad.cc")}});
+  ASSERT_EQ(diags.size(), 3u);
+  diags.push_back({"tests/io.cc", 0, "io", "cannot read file", ""});
+  std::string sarif = fmlint::DiagnosticsToSarif(diags, engine.rules());
+  fm::json::Value doc = fm::json::ParseJson(sarif);
+  EXPECT_EQ(doc.Str("version"), "2.1.0");
+  const auto& run = doc.At("runs").array.at(0);
+  const auto& driver = run.At("tool").At("driver");
+  EXPECT_EQ(driver.Str("name"), "fmlint");
+  EXPECT_EQ(driver.At("rules").array.size(), 22u);
+  const auto& results = run.At("results").array;
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].Str("ruleId"), "raw-mutex");
+  const auto& loc0 =
+      results[0].At("locations").array.at(0).At("physicalLocation");
+  EXPECT_EQ(loc0.At("artifactLocation").Str("uri"), "tests/fx.cc");
+  EXPECT_EQ(loc0.At("region").Num("startLine"), 3.0);
+  const auto& loc3 =
+      results[3].At("locations").array.at(0).At("physicalLocation");
+  EXPECT_EQ(loc3.At("region").Num("startLine"), 1.0) << "line 0 not clamped";
 }
 
 // --- whole-repo gate ---------------------------------------------------------

@@ -1,12 +1,21 @@
 // Randomized end-to-end property tests: random graphs (weights, self-loops,
 // duplicates, dead ends, shuffled labels) x random walk specifications, checked
-// against the engine's global invariants. Each parameter is an independent seed.
+// against the engine's global invariants, plus randomized corrupt-CSR-header
+// cases covering every field the loader's taint validation bounds-checks.
+// Each parameter is an independent seed.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/graph/degree_sort.h"
+#include "src/graph/edge_io.h"
 #include "src/graph/graph_builder.h"
 #include "src/util/rng.h"
 
@@ -124,6 +133,98 @@ TEST_P(FuzzTest, EngineInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 24));
+
+// --- corrupt CSR header fuzzing ----------------------------------------------
+// One randomized mutation per seed, each targeting a header field the loader
+// treats as untrusted (magic, num_vertices, num_edges) or the payload length
+// those counts are validated against (truncation / trailing garbage). Every
+// mutation is constructed to be invalid by design — the header counts no
+// longer match the file size — so both the copying and the mmap loader must
+// reject with a clean error, never crash or over-allocate.
+
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+class CorruptHeaderFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptHeaderFuzzTest, HostileHeadersAreRejectedCleanly) {
+  const uint64_t seed = GetParam();
+  XorShiftRng rng(DeriveSeed(0xC5A, seed));
+
+  // A small random graph, weighted half the time so both payload layouts
+  // (edges only / edges + weights) get corrupted.
+  Vid n = 20 + static_cast<Vid>(rng.NextBounded(200));
+  bool weighted = rng.NextBounded(2) == 0;
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < n * 4ull; ++e) {
+    builder.AddEdge(static_cast<Vid>(rng.NextBounded(n)),
+                    static_cast<Vid>(rng.NextBounded(n)),
+                    weighted ? 1.0f + static_cast<float>(rng.NextBounded(8))
+                             : 1.0f);
+  }
+  CsrGraph graph = builder.Build({});
+  std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("fm_fuzz_csr_" + std::to_string(seed) + ".csr"))
+          .string();
+  SaveCsrBinary(graph, path);
+
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  ASSERT_GE(bytes.size(), 24u);
+  auto load64 = [&](size_t off) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  auto store64 = [&](size_t off, uint64_t v) {
+    std::memcpy(bytes.data() + off, &v, sizeof(v));
+  };
+
+  constexpr uint64_t kMagic = 0x464D435352303031ULL;          // FMCSR001
+  constexpr uint64_t kWeightedMagic = 0x464D435352303032ULL;  // FMCSR002
+  switch (seed % 5) {
+    case 0: {  // random non-CSR magic
+      uint64_t magic = load64(0) ^ (1 + rng.NextBounded((1ull << 32) - 1));
+      while (magic == kMagic || magic == kWeightedMagic) {
+        ++magic;
+      }
+      store64(0, magic);
+      break;
+    }
+    case 1:  // vertex count no longer matches the payload (or blows Vid range)
+      store64(8, load64(8) + 1 + rng.NextBounded(1ull << 20));
+      break;
+    case 2:  // edge count no longer matches the payload
+      store64(16, load64(16) + 1 + rng.NextBounded(1ull << 20));
+      break;
+    case 3:  // truncation: counts now claim more payload than exists
+      bytes.resize(bytes.size() - (1 + rng.NextBounded(16)));
+      break;
+    default:  // trailing garbage: payload larger than the counts account for
+      for (uint64_t k = 0, end = 1 + rng.NextBounded(16); k < end; ++k) {
+        bytes.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+      }
+      break;
+  }
+  WriteAllBytes(path, bytes);
+
+  EXPECT_THROW(LoadCsrBinary(path), std::runtime_error) << "seed " << seed;
+  EXPECT_THROW(LoadCsrBinaryMapped(path), std::runtime_error)
+      << "seed " << seed;
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptHeaderFuzzTest,
+                         ::testing::Range<uint64_t>(0, 20));
 
 }  // namespace
 }  // namespace fm

@@ -512,6 +512,378 @@ class TelemetryHotPathRule : public HotPathRule {
   }
 };
 
+// --- data-flow rule family ---------------------------------------------------
+
+// Same-line + contiguous //-comment-block-above raw text, for justification
+// lookups (the div:/taint:/relaxed: comment conventions all share this shape).
+std::string NearbyCommentText(const SourceFile& file, size_t line_1based) {
+  std::string out;
+  if (line_1based == 0 || line_1based > file.raw.size()) {
+    return out;
+  }
+  size_t i = line_1based - 1;
+  out += file.raw[i];
+  for (size_t j = i; j > 0; --j) {
+    const std::string& above = file.raw[j - 1];
+    size_t first = above.find_first_not_of(" \t");
+    if (first == std::string::npos || above.compare(first, 2, "//") != 0) {
+      break;
+    }
+    out += '\n';
+    out += above;
+  }
+  return out;
+}
+
+std::string SimpleCallName(const std::string& name) {
+  size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+// Base for the three data-flow rules: WholeProgram feeding plus a shared
+// DataFlow built once per lint run, with per-line dedup.
+class DataFlowRule : public Rule {
+ public:
+  DataFlowRule(std::shared_ptr<WholeProgram> wp,
+               std::shared_ptr<DataFlowCache> cache)
+      : wp_(std::move(wp)), cache_(std::move(cache)) {}
+
+  void CheckFile(const SourceFile& file, DiagSink& /*sink*/) override {
+    wp_->AddFile(file);
+  }
+
+  void Finish(DiagSink& sink) override {
+    wp_->EnsureAnalyzed();
+    reported_.clear();
+    Report(cache_->Ensure(*wp_), sink);
+    cache_->Release();
+    wp_->Release();
+  }
+
+ protected:
+  virtual void Report(const DataFlow& df, DiagSink& sink) = 0;
+
+  void AddOnce(const std::string& file, size_t line, const std::string& what,
+               const std::string& fixit, DiagSink& sink) {
+    if (!reported_.emplace(file, line).second) {
+      return;
+    }
+    sink.Add({file, line, std::string(name()), what, fixit});
+  }
+
+  bool JustifiedBy(const std::string& rel_path, size_t line,
+                   const char* tag) const {
+    const SourceFile* file = wp_->file(rel_path);
+    return file != nullptr &&
+           NearbyCommentText(*file, line).find(tag) != std::string::npos;
+  }
+
+  std::shared_ptr<WholeProgram> wp_;
+  std::shared_ptr<DataFlowCache> cache_;
+
+ private:
+  std::set<std::pair<std::string, size_t>> reported_;
+};
+
+// First forbidden source bit set in `prov`, or 0.
+Provenance FirstBadBit(Provenance prov) {
+  for (Provenance bit : {kProvThreadId, kProvSlotIndex, kProvPointer,
+                         kProvClock, kProvUntrusted}) {
+    if ((prov & bit) != 0) {
+      return bit;
+    }
+  }
+  return 0;
+}
+
+class RngStreamRule : public DataFlowRule {
+ public:
+  using DataFlowRule::DataFlowRule;
+
+  std::string_view name() const override { return "rng-stream-discipline"; }
+  std::string_view description() const override {
+    return "RNG constructions and Seed() calls in the FM_HOT_PATH closure "
+           "must trace their seed to WalkerSeed(chunk_seed, walker_index); "
+           "thread-id/slot/pointer/clock-derived seeds break walk "
+           "determinism";
+  }
+
+ protected:
+  void Report(const DataFlow& df, DiagSink& sink) override {
+    const std::vector<FunctionInfo>& fns = wp_->functions();
+    for (size_t i = 0; i < fns.size(); ++i) {
+      if (!wp_->IsHot(i)) {
+        continue;
+      }
+      const FunctionInfo& fn = fns[i];
+      const std::string& chain = wp_->HotChain(i);
+      df.Visit(
+          i,
+          [&](const Statement& stmt, const VarState& state) {
+            // `Rng rng(seed_expr)` — any type spelled ...Rng.
+            bool rng_decl =
+                stmt.is_decl && !stmt.decl_type.empty() &&
+                (stmt.decl_type == "Rng" ||
+                 (stmt.decl_type.size() > 3 &&
+                  stmt.decl_type.compare(stmt.decl_type.size() - 3, 3,
+                                         "Rng") == 0));
+            if (rng_decl) {
+              CheckSeed(df.Eval(stmt.value, state), fn, stmt.line,
+                        "RNG construction", chain, sink);
+            }
+            for (const StmtCall& call : stmt.calls) {
+              if (SimpleCallName(call.name) == "Seed" && !call.args.empty()) {
+                CheckSeed(df.Eval(call.args[0], state), fn, call.line,
+                          "Seed() call", chain, sink);
+              }
+            }
+          },
+          nullptr);
+    }
+  }
+
+ private:
+  void CheckSeed(Provenance prov, const FunctionInfo& fn, size_t line,
+                 const char* what, const std::string& chain, DiagSink& sink) {
+    Provenance bad = FirstBadBit(prov);
+    if (bad != 0) {
+      AddOnce(fn.file, line,
+              std::string(what) + " seeded from " +
+                  ProvenanceSourceName(bad) +
+                  "; streams must be walker-indexed or walks change with "
+                  "placement/pool size [hot path: " +
+                  chain + "]",
+              "seed with WalkerSeed(chunk_seed, walker_index) so each walker "
+              "owns one deterministic stream",
+              sink);
+      return;
+    }
+    if ((prov & kProvWalkerSeed) == 0) {
+      AddOnce(fn.file, line,
+              std::string(what) + " whose seed does not trace to "
+                  "WalkerSeed(chunk_seed, walker_index) provenance [hot "
+                  "path: " +
+                  chain + "]",
+              "derive the seed from WalkerSeed(chunk_seed, walker_index) "
+              "(src/core/interleave.h)",
+              sink);
+    }
+  }
+};
+
+class UntrustedInputTaintRule : public DataFlowRule {
+ public:
+  using DataFlowRule::DataFlowRule;
+
+  std::string_view name() const override { return "untrusted-input-taint"; }
+  std::string_view description() const override {
+    return "header-derived scalars (LoadScalar / MappedSpan) are tainted "
+           "until bounds-checked; tainted allocation sizes, array indices, "
+           "and loop bounds need a `taint:` justification";
+  }
+
+ protected:
+  void Report(const DataFlow& df, DiagSink& sink) override {
+    static const std::set<std::string> kAllocTypes = {"vector", "string",
+                                                      "deque", "basic_string"};
+    static const std::set<std::string> kSizeCalls = {
+        "resize", "reserve", "malloc", "calloc", "realloc", "aligned_alloc"};
+    const std::vector<FunctionInfo>& fns = wp_->functions();
+    for (size_t i = 0; i < fns.size(); ++i) {
+      const FunctionInfo& fn = fns[i];
+      df.Visit(
+          i,
+          [&](const Statement& stmt, const VarState& state) {
+            if (stmt.is_decl && kAllocTypes.count(stmt.decl_type) != 0 &&
+                (df.Eval(stmt.value, state) & kProvUntrusted) != 0) {
+              Finding(fn, stmt.line, "allocation size", sink);
+            }
+            for (const StmtCall& call : stmt.calls) {
+              if (kSizeCalls.count(SimpleCallName(call.name)) == 0) {
+                continue;
+              }
+              for (const auto& arg : call.args) {
+                if ((df.Eval(arg, state) & kProvUntrusted) != 0) {
+                  Finding(fn, call.line, "allocation size", sink);
+                  break;
+                }
+              }
+            }
+            ScanBrackets(df, fn, stmt, state, sink);
+          },
+          [&](const BasicBlock& block, const VarState& state) {
+            if (block.cond != BasicBlock::Cond::kLoop ||
+                block.cond_tokens.empty()) {
+              return;
+            }
+            if ((df.Eval(block.cond_tokens, state) & kProvUntrusted) != 0) {
+              Finding(fn, block.cond_line, "loop bound", sink);
+            }
+          });
+    }
+  }
+
+ private:
+  // `new T[n]` and `a[i]` sinks: the bracketed expression itself.
+  void ScanBrackets(const DataFlow& df, const FunctionInfo& fn,
+                    const Statement& stmt, const VarState& state,
+                    DiagSink& sink) {
+    const std::vector<Token>& toks = stmt.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text != "[") {
+        continue;
+      }
+      bool indexes = i > 0 && (toks[i - 1].kind == Token::Kind::kIdent ||
+                               toks[i - 1].text == "]" ||
+                               toks[i - 1].text == ")");
+      if (!indexes) {
+        continue;  // lambda introducer / attribute
+      }
+      int depth = 0;
+      std::vector<Token> inner;
+      size_t j = i;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "[") {
+          ++depth;
+          if (depth == 1) {
+            continue;
+          }
+        } else if (toks[j].text == "]" && --depth == 0) {
+          break;
+        }
+        inner.push_back(toks[j]);
+      }
+      if (!inner.empty() &&
+          (df.Eval(inner, state) & kProvUntrusted) != 0) {
+        bool is_new = i >= 2 && toks[i - 2].text == "new";
+        Finding(fn, toks[i].line,
+                is_new ? "allocation size" : "array index", sink);
+      }
+      i = j;
+    }
+  }
+
+  void Finding(const FunctionInfo& fn, size_t line, const char* sink_kind,
+               DiagSink& sink) {
+    if (JustifiedBy(fn.file, line, "taint:")) {
+      return;
+    }
+    AddOnce(fn.file, line,
+            std::string("untrusted header-derived value reaches ") +
+                sink_kind + " without a bounds check; a corrupt file "
+                "controls it",
+            "compare it against the file size / an explicit bound first, or "
+            "justify with `// taint: <why>`",
+            sink);
+  }
+};
+
+class RelaxedPublicationRule : public DataFlowRule {
+ public:
+  using DataFlowRule::DataFlowRule;
+
+  std::string_view name() const override { return "relaxed-publication"; }
+  std::string_view description() const override {
+    return "a relaxed atomic store must state its discipline (single-writer "
+           "/ no concurrent writers / ordered by / commutative) and must not "
+           "publish pointer-derived values; loads pairing with a "
+           "pointer-publishing relaxed store are flagged too";
+  }
+
+ protected:
+  void Report(const DataFlow& df, DiagSink& sink) override {
+    static const char* kDisciplines[] = {"single-writer",
+                                         "no concurrent writers",
+                                         "ordered by", "commutative"};
+    const std::vector<FunctionInfo>& fns = wp_->functions();
+    std::set<std::string> pointer_published;
+    struct Load {
+      std::string key;
+      std::string file;
+      size_t line;
+    };
+    std::vector<Load> loads;
+    for (size_t i = 0; i < fns.size(); ++i) {
+      const FunctionInfo& fn = fns[i];
+      std::string enclosing;
+      size_t cut = fn.qualified.rfind("::");
+      if (cut != std::string::npos) {
+        enclosing = fn.qualified.substr(0, cut);
+      }
+      df.Visit(
+          i,
+          [&](const Statement& stmt, const VarState& state) {
+            for (const StmtCall& call : stmt.calls) {
+              bool relaxed = false;
+              for (const auto& arg : call.args) {
+                for (const Token& t : arg) {
+                  if (t.text == "memory_order_relaxed") {
+                    relaxed = true;
+                  }
+                }
+              }
+              if (!relaxed) {
+                continue;
+              }
+              std::string simple = SimpleCallName(call.name);
+              std::string key =
+                  NormalizeLockName(call.receiver, enclosing);
+              if (simple == "load") {
+                loads.push_back({std::move(key), fn.file, call.line});
+                continue;
+              }
+              if (simple != "store" || call.args.empty()) {
+                continue;  // fetch_add/fetch_sub are commutative by shape
+              }
+              Provenance prov = df.Eval(call.args[0], state);
+              if ((prov & kProvPointer) != 0) {
+                pointer_published.insert(key);
+                AddOnce(fn.file, call.line,
+                        "relaxed store publishes a pointer-derived value "
+                        "through '" +
+                            key + "'; a reader can dereference before the "
+                            "pointee's writes are visible",
+                        "publish with memory_order_release (and pair loads "
+                        "with acquire)",
+                        sink);
+                continue;
+              }
+              bool disciplined = false;
+              for (const char* marker : kDisciplines) {
+                if (JustifiedBy(fn.file, call.line, marker)) {
+                  disciplined = true;
+                  break;
+                }
+              }
+              if (!disciplined) {
+                AddOnce(fn.file, call.line,
+                        "relaxed store to '" + key +
+                            "' without a stated discipline; say which "
+                            "single-writer / ordering argument makes the "
+                            "missing fence sound",
+                        "extend the `relaxed:` comment with `single-writer`, "
+                        "`no concurrent writers`, `ordered by <edge>`, or "
+                        "`commutative`",
+                        sink);
+              }
+            }
+          },
+          nullptr);
+    }
+    for (const Load& load : loads) {
+      if (pointer_published.count(load.key) != 0) {
+        AddOnce(load.file, load.line,
+                "relaxed load of '" + load.key +
+                    "' pairs with a relaxed store that publishes a pointer; "
+                    "the consumer needs an acquire edge",
+                "load with memory_order_acquire (the store side should be "
+                "release)",
+                sink);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Rule> MakeLayerDagRule() {
@@ -540,8 +912,24 @@ std::unique_ptr<Rule> MakeTelemetryHotPathRule(
   return std::make_unique<TelemetryHotPathRule>(std::move(wp));
 }
 
+std::unique_ptr<Rule> MakeRngStreamRule(std::shared_ptr<WholeProgram> wp,
+                                        std::shared_ptr<DataFlowCache> cache) {
+  return std::make_unique<RngStreamRule>(std::move(wp), std::move(cache));
+}
+std::unique_ptr<Rule> MakeUntrustedInputTaintRule(
+    std::shared_ptr<WholeProgram> wp, std::shared_ptr<DataFlowCache> cache) {
+  return std::make_unique<UntrustedInputTaintRule>(std::move(wp),
+                                                   std::move(cache));
+}
+std::unique_ptr<Rule> MakeRelaxedPublicationRule(
+    std::shared_ptr<WholeProgram> wp, std::shared_ptr<DataFlowCache> cache) {
+  return std::make_unique<RelaxedPublicationRule>(std::move(wp),
+                                                  std::move(cache));
+}
+
 std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules() {
-  auto wp = std::make_shared<WholeProgram>(6);
+  auto wp = std::make_shared<WholeProgram>(9);
+  auto cache = std::make_shared<DataFlowCache>(3);
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(MakeLockOrderRule(wp));
   rules.push_back(MakeHotPathAllocRule(wp));
@@ -549,6 +937,9 @@ std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules() {
   rules.push_back(MakeHotPathIoRule(wp));
   rules.push_back(MakeHotPathDivRule(wp));
   rules.push_back(MakeTelemetryHotPathRule(wp));
+  rules.push_back(MakeRngStreamRule(wp, cache));
+  rules.push_back(MakeUntrustedInputTaintRule(wp, cache));
+  rules.push_back(MakeRelaxedPublicationRule(wp, cache));
   return rules;
 }
 

@@ -22,6 +22,26 @@
 //   telemetry-hot-path no shared-atomic RMW (fetch_add etc.) or mutex-guarded
 //                      telemetry registry calls inside the hot-path closure;
 //                      hot metric updates use per-thread shard stores.
+//
+// Data-flow-backed families (tools/fmlint/dataflow.h; DESIGN.md §7h):
+//
+//   rng-stream-discipline  every RNG construction / Seed() call inside the
+//                      FM_HOT_PATH closure must trace its seed expression to
+//                      WalkerSeed(chunk_seed, walker_index) provenance; seeds
+//                      derived from thread ids, ring-slot indices, pointers,
+//                      or clocks break walk determinism (the PR 3 placement
+//                      bug shape) and are findings.
+//   untrusted-input-taint  scalars loaded from file headers (LoadScalar /
+//                      MappedSpan) stay tainted until compared against a
+//                      bound; tainted allocation sizes, array indices, and
+//                      loop bounds are findings unless an adjacent
+//                      `// taint: <why>` comment justifies them.
+//   relaxed-publication    a relaxed atomic store must state its discipline
+//                      (single-writer / no concurrent writers / ordered by /
+//                      commutative) in its `relaxed:` comment, must never
+//                      publish a pointer-derived value, and relaxed loads of
+//                      a variable with a pointer-publishing relaxed store are
+//                      findings too.
 #ifndef TOOLS_FMLINT_ANALYSIS_H_
 #define TOOLS_FMLINT_ANALYSIS_H_
 
@@ -29,6 +49,7 @@
 #include <vector>
 
 #include "tools/fmlint/callgraph.h"
+#include "tools/fmlint/dataflow.h"
 #include "tools/fmlint/lint.h"
 
 namespace fmlint {
@@ -45,8 +66,17 @@ std::unique_ptr<Rule> MakeHotPathIoRule(std::shared_ptr<WholeProgram> wp);
 std::unique_ptr<Rule> MakeHotPathDivRule(std::shared_ptr<WholeProgram> wp);
 std::unique_ptr<Rule> MakeTelemetryHotPathRule(std::shared_ptr<WholeProgram> wp);
 
-// All six call-graph-backed whole-program rules wired to a fresh shared
-// WholeProgram.
+// The data-flow-backed rules additionally share one DataFlowCache (same
+// consumer-counted lifecycle).
+std::unique_ptr<Rule> MakeRngStreamRule(std::shared_ptr<WholeProgram> wp,
+                                        std::shared_ptr<DataFlowCache> cache);
+std::unique_ptr<Rule> MakeUntrustedInputTaintRule(
+    std::shared_ptr<WholeProgram> wp, std::shared_ptr<DataFlowCache> cache);
+std::unique_ptr<Rule> MakeRelaxedPublicationRule(
+    std::shared_ptr<WholeProgram> wp, std::shared_ptr<DataFlowCache> cache);
+
+// All nine call-graph-backed whole-program rules wired to a fresh shared
+// WholeProgram (and, for the data-flow trio, a shared DataFlowCache).
 std::vector<std::unique_ptr<Rule>> MakeWholeProgramRules();
 
 }  // namespace fmlint

@@ -1,0 +1,1239 @@
+#include "tools/fmlint/dataflow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace fmlint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+constexpr Provenance kGoodMask = kProvWalkerSeed | kProvParamMask;
+
+bool IsMacroLike(const std::string& s) {
+  if (s.empty() || !std::isupper(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Keywords that read like calls / defs but are control flow or operators.
+const std::set<std::string>& StmtKeywords() {
+  static const std::set<std::string> kws = {
+      "if",     "for",     "while",    "switch",   "return",   "sizeof",
+      "alignof", "catch",  "new",      "delete",   "throw",    "decltype",
+      "noexcept", "case",  "default",  "break",    "continue", "do",
+      "else",   "goto",    "co_return"};
+  return kws;
+}
+
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+// Index of the token matching the opener at `i` ("(" / "[" / "{"), or
+// toks.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& toks, size_t i) {
+  const std::string& open = toks[i].text;
+  const char* close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].text == open) {
+      ++depth;
+    } else if (toks[j].text == close && --depth == 0) {
+      return j;
+    }
+  }
+  return toks.size();
+}
+
+std::vector<Token> Slice(const std::vector<Token>& toks, size_t begin,
+                         size_t end) {
+  std::vector<Token> out;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    out.push_back(toks[i]);
+  }
+  return out;
+}
+
+// Splits [begin, end) on commas at nesting depth zero.
+std::vector<std::vector<Token>> SplitTopCommas(const std::vector<Token>& toks,
+                                               size_t begin, size_t end) {
+  std::vector<std::vector<Token>> out;
+  std::vector<Token> cur;
+  int depth = 0;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    const std::string& s = toks[i].text;
+    if (s == "(" || s == "[" || s == "{") {
+      ++depth;
+    } else if (s == ")" || s == "]" || s == "}") {
+      --depth;
+    } else if (s == "," && depth == 0) {
+      out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(toks[i]);
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+// `ident :: ident :: name` chain ending at `i`, and its first token index.
+std::string QualifiedChainAt(const std::vector<Token>& toks, size_t i,
+                             size_t* first_index) {
+  std::string chain = toks[i].text;
+  size_t begin = i;
+  while (begin >= 2 && toks[begin - 1].text == "::" &&
+         IsIdent(toks[begin - 2])) {
+    chain = toks[begin - 2].text + "::" + chain;
+    begin -= 2;
+  }
+  if (first_index != nullptr) {
+    *first_index = begin;
+  }
+  return chain;
+}
+
+// Reconstructs the postfix receiver chain ending just before the call name at
+// `name_idx` ("s.rng" for `s.rng.Seed(`); "" for a free call. `chain_begin`
+// is name_idx's qualified-chain start.
+std::string ReceiverChain(const std::vector<Token>& toks, size_t chain_begin) {
+  std::string receiver;
+  size_t j = chain_begin;
+  while (j >= 1 && (toks[j - 1].text == "." || toks[j - 1].text == "->")) {
+    size_t accessor = j - 1;
+    size_t comp_begin = kNpos;
+    if (accessor >= 1 &&
+        (toks[accessor - 1].text == ")" || toks[accessor - 1].text == "]")) {
+      // Walk back over the balanced group, then an optional leading ident.
+      const std::string& close = toks[accessor - 1].text;
+      const char* open = close == ")" ? "(" : "[";
+      int depth = 0;
+      size_t m = accessor - 1;
+      while (true) {
+        if (toks[m].text == close) {
+          ++depth;
+        } else if (toks[m].text == open && --depth == 0) {
+          break;
+        }
+        if (m == 0) {
+          break;
+        }
+        --m;
+      }
+      comp_begin = m;
+      if (comp_begin >= 1 && IsIdent(toks[comp_begin - 1])) {
+        --comp_begin;
+      }
+    } else if (accessor >= 1 && IsIdent(toks[accessor - 1])) {
+      comp_begin = accessor - 1;
+    }
+    if (comp_begin == kNpos) {
+      break;
+    }
+    std::string part;
+    for (size_t m = comp_begin; m < accessor; ++m) {
+      part += toks[m].text;
+    }
+    receiver = receiver.empty() ? part : part + "." + receiver;
+    j = comp_begin;
+  }
+  return receiver;
+}
+
+// Finds calls in a token range: `name(`, `Class::name(`, and template calls
+// `name<Args>(`. Nested calls each get their own entry.
+std::vector<StmtCall> ExtractCalls(const std::vector<Token>& toks) {
+  std::vector<StmtCall> calls;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || StmtKeywords().count(toks[i].text) != 0) {
+      continue;
+    }
+    size_t paren = kNpos;
+    if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+      paren = i + 1;
+    } else if (i + 1 < toks.size() && toks[i + 1].text == "<") {
+      // Template call: a short, type-looking angle group directly followed by
+      // `(`. Anything else (comparisons) fails the shape test.
+      int angle = 0;
+      for (size_t j = i + 1; j < toks.size() && j < i + 26; ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "<") {
+          ++angle;
+        } else if (s == ">") {
+          --angle;
+        } else if (s == ">>") {
+          angle -= 2;
+        } else if (!(IsIdent(toks[j]) || toks[j].kind == Token::Kind::kNumber ||
+                     s == "::" || s == "," || s == "*" || s == "&")) {
+          break;
+        }
+        if (angle <= 0) {
+          if (angle == 0 && j + 1 < toks.size() && toks[j + 1].text == "(") {
+            paren = j + 1;
+          }
+          break;
+        }
+      }
+    }
+    if (paren == kNpos) {
+      continue;
+    }
+    size_t chain_begin = kNpos;
+    StmtCall call;
+    call.name = QualifiedChainAt(toks, i, &chain_begin);
+    call.receiver = ReceiverChain(toks, chain_begin);
+    call.line = toks[i].line;
+    size_t close = MatchingClose(toks, paren);
+    call.args = SplitTopCommas(toks, paren + 1, close);
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+std::string SimpleName(const std::string& name) {
+  size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+// Walks back from `idx` (exclusive) over a template argument group to the
+// base type identifier: `std::vector<Eid> offsets` -> "vector".
+std::string TemplateBaseType(const std::vector<Token>& toks, size_t idx) {
+  int angle = toks[idx].text == ">>" ? 2 : 1;
+  size_t j = idx;
+  while (j > 0 && angle > 0) {
+    --j;
+    const std::string& s = toks[j].text;
+    if (s == ">") ++angle;
+    if (s == ">>") angle += 2;
+    if (s == "<") --angle;
+  }
+  if (j > 0 && IsIdent(toks[j - 1])) {
+    return toks[j - 1].text;
+  }
+  return "";
+}
+
+const std::set<std::string>& CompoundAssigns() {
+  static const std::set<std::string> ops = {"+=", "-=", "*=", "/=", "%=",
+                                            "&=", "|=", "^=", "<<=", ">>="};
+  return ops;
+}
+
+// Digests raw statement tokens into a Statement (def/value/calls).
+Statement AnalyzeStatement(std::vector<Token> toks) {
+  Statement st;
+  st.line = toks.empty() ? 0 : toks.front().line;
+  st.calls = ExtractCalls(toks);
+  if (toks.empty()) {
+    st.tokens = std::move(toks);
+    return st;
+  }
+  if (toks.front().text == "return" || toks.front().text == "co_return" ||
+      toks.front().text == "throw") {
+    st.is_return = toks.front().text != "throw";
+    st.value = Slice(toks, 1, toks.size());
+    st.tokens = std::move(toks);
+    return st;
+  }
+  // Assignment (plain or compound) at nesting depth zero.
+  size_t assign = kNpos;
+  bool compound = false;
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& s = toks[i].text;
+    if (s == "(" || s == "[" || s == "{") {
+      ++depth;
+    } else if (s == ")" || s == "]" || s == "}") {
+      --depth;
+    } else if (depth == 0 && toks[i].kind == Token::Kind::kPunct &&
+               (s == "=" || CompoundAssigns().count(s) != 0)) {
+      assign = i;
+      compound = s != "=";
+      break;
+    }
+  }
+  if (assign != kNpos) {
+    st.value = Slice(toks, assign + 1, toks.size());
+    // `*p = ...` writes through p.
+    if (toks.front().text == "*" && toks.size() > 1 && IsIdent(toks[1])) {
+      st.deref_write = toks[1].text;
+      st.tokens = std::move(toks);
+      return st;
+    }
+    // Base of the last top-level identifier chain in the LHS.
+    size_t base_idx = kNpos;
+    int d = 0;
+    for (size_t i = 0; i < assign; ++i) {
+      const std::string& s = toks[i].text;
+      if (s == "(" || s == "[" || s == "{") {
+        ++d;
+        continue;
+      }
+      if (s == ")" || s == "]" || s == "}") {
+        --d;
+        continue;
+      }
+      if (d != 0 || !IsIdent(toks[i]) || IsMacroLike(toks[i].text)) {
+        continue;
+      }
+      bool chained = i > 0 && (toks[i - 1].text == "." ||
+                               toks[i - 1].text == "->" ||
+                               toks[i - 1].text == "::");
+      if (!chained) {
+        base_idx = i;
+      }
+    }
+    if (base_idx != kNpos) {
+      st.def = toks[base_idx].text;
+      bool member = false;
+      for (size_t i = base_idx + 1; i < assign; ++i) {
+        if (toks[i].text == "." || toks[i].text == "->" ||
+            toks[i].text == "[") {
+          member = true;
+        }
+      }
+      st.weak_def = member || compound;
+      // Two identifier-ish tokens before the `=` mean a declaration.
+      st.is_decl = base_idx > 0 && (IsIdent(toks[base_idx - 1]) ||
+                                    toks[base_idx - 1].text == ">" ||
+                                    toks[base_idx - 1].text == "&" ||
+                                    toks[base_idx - 1].text == "*");
+    }
+    st.tokens = std::move(toks);
+    return st;
+  }
+  // Direct-initialization declaration: `Type var(args)` / `Type var{args}`.
+  depth = 0;
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const std::string& s = toks[i].text;
+    if (s == "(" || s == "[" || s == "{") {
+      ++depth;
+      continue;
+    }
+    if (s == ")" || s == "]" || s == "}") {
+      --depth;
+      continue;
+    }
+    if (depth != 0 || !IsIdent(toks[i]) || IsMacroLike(toks[i].text) ||
+        StmtKeywords().count(toks[i].text) != 0) {
+      continue;
+    }
+    if (i + 1 >= toks.size() ||
+        (toks[i + 1].text != "(" && toks[i + 1].text != "{")) {
+      continue;
+    }
+    const Token& before = toks[i - 1];
+    bool type_before =
+        (IsIdent(before) && !IsMacroLike(before.text) &&
+         StmtKeywords().count(before.text) == 0 && before.text != "." &&
+         before.text != "->") ||
+        before.text == ">" || before.text == ">>" || before.text == "&" ||
+        before.text == "*";
+    if (!type_before) {
+      continue;
+    }
+    st.def = toks[i].text;
+    st.is_decl = true;
+    if (IsIdent(before)) {
+      st.decl_type = before.text;
+    } else if (before.text == ">" || before.text == ">>") {
+      st.decl_type = TemplateBaseType(toks, i - 1);
+    } else if (i >= 2 && IsIdent(toks[i - 2])) {
+      st.decl_type = toks[i - 2].text;
+    }
+    size_t open = i + 1;
+    size_t close = MatchingClose(toks, open);
+    st.value = Slice(toks, open + 1, close);
+    break;
+  }
+  st.tokens = std::move(toks);
+  return st;
+}
+
+// --- CFG construction --------------------------------------------------------
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const std::vector<Token>& toks) : t_(toks) {
+    cfg_.entry = NewBlock();
+    cfg_.exit = NewBlock();
+    cur_ = cfg_.entry;
+  }
+
+  Cfg Build() {
+    ParseList(/*stop_at_close=*/false);
+    Edge(cur_, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  struct BreakCtx {
+    size_t brk;
+    size_t cont;  // kNpos inside switch
+  };
+
+  size_t NewBlock() {
+    cfg_.blocks.emplace_back();
+    return cfg_.blocks.size() - 1;
+  }
+
+  void Edge(size_t from, size_t to) { cfg_.blocks[from].succs.push_back(to); }
+
+  bool AtEnd() const { return i_ >= t_.size(); }
+  const std::string& Text() const { return t_[i_].text; }
+
+  // Consumes `( ... )` and returns the inner tokens.
+  std::vector<Token> ParenGroup() {
+    if (AtEnd() || Text() != "(") {
+      return {};
+    }
+    size_t close = MatchingClose(t_, i_);
+    std::vector<Token> inner = Slice(t_, i_ + 1, close);
+    i_ = std::min(close + 1, t_.size());
+    return inner;
+  }
+
+  // Collects one plain statement: tokens until `;` at depth zero. Stops
+  // before an unmatched `}` so list parsing can see it.
+  std::vector<Token> PlainStatement() {
+    std::vector<Token> out;
+    int depth = 0;
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (depth == 0 && s == ";") {
+        ++i_;
+        break;
+      }
+      if (depth == 0 && s == "}") {
+        break;
+      }
+      if (s == "(" || s == "[" || s == "{") {
+        ++depth;
+      } else if (s == ")" || s == "]" || s == "}") {
+        --depth;
+      }
+      out.push_back(t_[i_]);
+      ++i_;
+    }
+    return out;
+  }
+
+  void AddStatement(std::vector<Token> toks) {
+    if (!toks.empty()) {
+      cfg_.blocks[cur_].stmts.push_back(AnalyzeStatement(std::move(toks)));
+    }
+  }
+
+  void ParseList(bool stop_at_close) {
+    while (!AtEnd()) {
+      if (Text() == "}") {
+        if (stop_at_close) {
+          ++i_;
+        }
+        return;
+      }
+      ParseStmt();
+    }
+  }
+
+  size_t MakeCond(BasicBlock::Cond kind, std::vector<Token> cond) {
+    size_t b = NewBlock();
+    cfg_.blocks[b].cond = kind;
+    cfg_.blocks[b].cond_line = cond.empty() ? 0 : cond.front().line;
+    cfg_.blocks[b].cond_tokens = std::move(cond);
+    return b;
+  }
+
+  void ParseStmt() {
+    if (AtEnd()) {
+      return;
+    }
+    const std::string& s = Text();
+    if (s == "{") {
+      ++i_;
+      ParseList(/*stop_at_close=*/true);
+      return;
+    }
+    if (s == ";") {
+      ++i_;
+      return;
+    }
+    if (s == "if") {
+      ++i_;
+      if (!AtEnd() && Text() == "constexpr") {
+        ++i_;
+      }
+      size_t cond_b = MakeCond(BasicBlock::Cond::kIf, ParenGroup());
+      Edge(cur_, cond_b);
+      size_t then_b = NewBlock();
+      Edge(cond_b, then_b);
+      cur_ = then_b;
+      ParseStmt();
+      size_t then_end = cur_;
+      size_t join = NewBlock();
+      Edge(then_end, join);
+      if (!AtEnd() && Text() == "else") {
+        ++i_;
+        size_t else_b = NewBlock();
+        Edge(cond_b, else_b);
+        cur_ = else_b;
+        ParseStmt();
+        Edge(cur_, join);
+      } else {
+        Edge(cond_b, join);
+      }
+      cur_ = join;
+      return;
+    }
+    if (s == "while") {
+      ++i_;
+      size_t cond_b = MakeCond(BasicBlock::Cond::kLoop, ParenGroup());
+      Edge(cur_, cond_b);
+      size_t body = NewBlock();
+      size_t after = NewBlock();
+      Edge(cond_b, body);
+      Edge(cond_b, after);
+      breaks_.push_back({after, cond_b});
+      cur_ = body;
+      ParseStmt();
+      Edge(cur_, cond_b);
+      breaks_.pop_back();
+      cur_ = after;
+      return;
+    }
+    if (s == "do") {
+      ++i_;
+      size_t cond_b = MakeCond(BasicBlock::Cond::kLoop, {});
+      size_t body = NewBlock();
+      size_t after = NewBlock();
+      Edge(cur_, body);
+      breaks_.push_back({after, cond_b});
+      cur_ = body;
+      ParseStmt();
+      Edge(cur_, cond_b);
+      breaks_.pop_back();
+      if (!AtEnd() && Text() == "while") {
+        ++i_;
+        std::vector<Token> cond = ParenGroup();
+        cfg_.blocks[cond_b].cond_line = cond.empty() ? 0 : cond.front().line;
+        cfg_.blocks[cond_b].cond_tokens = std::move(cond);
+        if (!AtEnd() && Text() == ";") {
+          ++i_;
+        }
+      }
+      Edge(cond_b, body);
+      Edge(cond_b, after);
+      cur_ = after;
+      return;
+    }
+    if (s == "for") {
+      ++i_;
+      std::vector<Token> head = ParenGroup();
+      // Split on top-level `;` (classic) or `:` (range-for).
+      std::vector<size_t> semis;
+      size_t colon = kNpos;
+      int depth = 0;
+      for (size_t j = 0; j < head.size(); ++j) {
+        const std::string& h = head[j].text;
+        if (h == "(" || h == "[" || h == "{" || h == "<") {
+          ++depth;
+        } else if (h == ")" || h == "]" || h == "}" || h == ">") {
+          --depth;
+        } else if (depth == 0 && h == ";") {
+          semis.push_back(j);
+        } else if (depth == 0 && h == ":" && colon == kNpos) {
+          colon = j;
+        }
+      }
+      size_t cond_b;
+      std::vector<Token> inc;
+      if (semis.size() >= 2) {
+        AddStatement(Slice(head, 0, semis[0]));
+        cond_b =
+            MakeCond(BasicBlock::Cond::kLoop, Slice(head, semis[0] + 1, semis[1]));
+        inc = Slice(head, semis[1] + 1, head.size());
+      } else if (colon != kNpos) {
+        // Range-for: the loop variable derives from the range expression.
+        cond_b = MakeCond(BasicBlock::Cond::kLoop,
+                          Slice(head, colon + 1, head.size()));
+        std::vector<Token> decl = Slice(head, 0, colon);
+        std::string var;
+        for (const Token& tok : decl) {
+          if (IsIdent(tok) && !IsMacroLike(tok.text) &&
+              StmtKeywords().count(tok.text) == 0) {
+            var = tok.text;
+          }
+        }
+        if (!var.empty()) {
+          Statement st;
+          st.line = decl.empty() ? 0 : decl.front().line;
+          st.def = std::move(var);
+          st.is_decl = true;
+          st.value = Slice(head, colon + 1, head.size());
+          st.tokens = std::move(decl);
+          // Seed the loop variable inside the body entry below.
+          pending_range_stmt_ = std::move(st);
+        }
+      } else {
+        cond_b = MakeCond(BasicBlock::Cond::kLoop, std::move(head));
+      }
+      Edge(cur_, cond_b);
+      size_t body = NewBlock();
+      size_t after = NewBlock();
+      Edge(cond_b, body);
+      Edge(cond_b, after);
+      breaks_.push_back({after, cond_b});
+      cur_ = body;
+      if (pending_range_stmt_.has_value()) {
+        cfg_.blocks[cur_].stmts.push_back(std::move(*pending_range_stmt_));
+        pending_range_stmt_.reset();
+      }
+      ParseStmt();
+      AddStatement(std::move(inc));
+      Edge(cur_, cond_b);
+      breaks_.pop_back();
+      cur_ = after;
+      return;
+    }
+    if (s == "switch") {
+      ++i_;
+      size_t head = MakeCond(BasicBlock::Cond::kSwitch, ParenGroup());
+      Edge(cur_, head);
+      size_t after = NewBlock();
+      Edge(head, after);  // no matching case / no default
+      breaks_.push_back({after, kNpos});
+      cur_ = head;
+      if (!AtEnd() && Text() == "{") {
+        ++i_;
+        while (!AtEnd() && Text() != "}") {
+          if (Text() == "case" || Text() == "default") {
+            bool is_case = Text() == "case";
+            ++i_;
+            while (is_case && !AtEnd() && Text() != ":" && Text() != "}") {
+              ++i_;  // case label expression
+            }
+            if (!AtEnd() && Text() == ":") {
+              ++i_;
+            }
+            size_t blk = NewBlock();
+            Edge(head, blk);
+            Edge(cur_, blk);  // fallthrough (head duplicate is harmless)
+            cur_ = blk;
+            continue;
+          }
+          ParseStmt();
+        }
+        if (!AtEnd()) {
+          ++i_;  // the switch's `}`
+        }
+      }
+      Edge(cur_, after);
+      breaks_.pop_back();
+      cur_ = after;
+      return;
+    }
+    if (s == "return" || s == "co_return" || s == "throw") {
+      AddStatement(PlainStatement());
+      Edge(cur_, cfg_.exit);
+      cur_ = NewBlock();  // unreachable continuation
+      return;
+    }
+    if (s == "break" || s == "continue") {
+      size_t target = cfg_.exit;
+      for (size_t j = breaks_.size(); j > 0; --j) {
+        if (s == "break") {
+          target = breaks_[j - 1].brk;
+          break;
+        }
+        if (breaks_[j - 1].cont != kNpos) {
+          target = breaks_[j - 1].cont;
+          break;
+        }
+      }
+      Edge(cur_, target);
+      ++i_;
+      if (!AtEnd() && Text() == ";") {
+        ++i_;
+      }
+      cur_ = NewBlock();  // unreachable continuation
+      return;
+    }
+    if (s == "else" || s == "case" || s == "default") {
+      // Stray pieces (e.g. labels outside a parsed switch): skip the keyword
+      // and, for labels, through the colon.
+      ++i_;
+      while (!AtEnd() && Text() != ":" && Text() != ";" && Text() != "}") {
+        ++i_;
+      }
+      if (!AtEnd() && (Text() == ":" || Text() == ";")) {
+        ++i_;
+      }
+      return;
+    }
+    AddStatement(PlainStatement());
+  }
+
+  const std::vector<Token>& t_;
+  size_t i_ = 0;
+  Cfg cfg_;
+  size_t cur_ = 0;
+  std::vector<BreakCtx> breaks_;
+  std::optional<Statement> pending_range_stmt_;
+};
+
+// --- intrinsic provenance tables ---------------------------------------------
+
+Provenance IntrinsicNameBits(const std::string& name) {
+  static const std::set<std::string> kThreadNames = {
+      "thread_index", "thread_idx", "thread_id",   "worker_id", "worker_index",
+      "worker",       "tid",        "num_threads", "thread_count",
+      "nthreads",     "n_threads",  "num_workers"};
+  static const std::set<std::string> kSlotNames = {
+      "slot", "slot_index", "slot_idx", "ring_slot", "slot_id", "lane",
+      "lane_id"};
+  if (kThreadNames.count(name) != 0) {
+    return kProvThreadId;
+  }
+  if (kSlotNames.count(name) != 0) {
+    return kProvSlotIndex;
+  }
+  return 0;
+}
+
+bool IsThreadSourceCall(const std::string& simple) {
+  static const std::set<std::string> kCalls = {
+      "hardware_concurrency", "get_id", "pthread_self", "gettid"};
+  return kCalls.count(simple) != 0;
+}
+
+bool IsClockSourceCall(const std::string& simple) {
+  static const std::set<std::string> kCalls = {
+      "TraceNowNs", "now", "Now", "time", "clock_gettime", "rdtsc", "__rdtsc"};
+  return kCalls.count(simple) != 0;
+}
+
+bool IsUntrustedSourceCall(const std::string& simple) {
+  return simple == "LoadScalar" || simple == "MappedSpan";
+}
+
+bool IsPointerMethod(const std::string& simple) {
+  return simple == "data" || simple == "get" || simple == "release";
+}
+
+bool IsCheckMacro(const std::string& simple) {
+  return simple.rfind("FM_CHECK", 0) == 0 || simple.rfind("FM_DCHECK", 0) == 0;
+}
+
+// Copies `toks` with every `[ ... ]` group removed: subscript expressions
+// index a value, they do not become part of it.
+std::vector<Token> WithoutSubscripts(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  int depth = 0;
+  for (const Token& t : toks) {
+    if (t.text == "[") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "]") {
+      depth = std::max(0, depth - 1);
+      continue;
+    }
+    if (depth == 0) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Provenance LookupVar(const VarState& state, const std::string& name) {
+  auto it = state.find(name);
+  Provenance p = it == state.end() ? 0 : it->second;
+  return p | IntrinsicNameBits(name);
+}
+
+std::string ReceiverBase(const std::string& receiver) {
+  size_t cut = receiver.find_first_of(".[");
+  return cut == std::string::npos ? receiver : receiver.substr(0, cut);
+}
+
+// Mixed-direction merge of block in-states: good bits (WalkerSeed, param
+// passthrough) union across predecessors; bad bits survive only when every
+// predecessor agrees (must-analysis — see the header comment).
+VarState MergeStates(const std::vector<const VarState*>& preds) {
+  VarState out;
+  if (preds.empty()) {
+    return out;
+  }
+  if (preds.size() == 1) {
+    return *preds[0];
+  }
+  std::set<std::string> keys;
+  for (const VarState* s : preds) {
+    for (const auto& [k, v] : *s) {
+      keys.insert(k);
+    }
+  }
+  for (const std::string& k : keys) {
+    Provenance good = 0;
+    Provenance bad = kProvBadSeedMask;
+    bool in_all = true;
+    for (const VarState* s : preds) {
+      auto it = s->find(k);
+      if (it == s->end()) {
+        in_all = false;
+        continue;
+      }
+      good |= it->second & kGoodMask;
+      bad &= it->second;
+    }
+    out[k] = good | (in_all ? (bad & kProvBadSeedMask) : 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ProvenanceSourceName(Provenance bit) {
+  switch (bit) {
+    case kProvWalkerSeed:
+      return "WalkerSeed";
+    case kProvThreadId:
+      return "a thread id / pool size";
+    case kProvSlotIndex:
+      return "a ring-slot index";
+    case kProvPointer:
+      return "a pointer value";
+    case kProvClock:
+      return "a clock reading";
+    case kProvUntrusted:
+      return "untrusted input";
+    default:
+      return "an unknown source";
+  }
+}
+
+Cfg BuildCfg(const FunctionInfo& fn) { return CfgBuilder(fn.body).Build(); }
+
+// --- DataFlow ----------------------------------------------------------------
+
+DataFlow::DataFlow(const WholeProgram& wp) : wp_(wp) {
+  const std::vector<FunctionInfo>& fns = wp.functions();
+  cfgs_.reserve(fns.size());
+  for (const FunctionInfo& fn : fns) {
+    cfgs_.push_back(BuildCfg(fn));
+  }
+  summaries_.assign(fns.size(), FunctionSummary{});
+  // Interprocedural fixpoint: rounds over all functions with the summaries
+  // from the previous round. The call graph is shallow; a handful of rounds
+  // always converges, and the cap keeps pathological inputs bounded.
+  for (int round = 0; round < 6; ++round) {
+    bool stable = true;
+    for (size_t i = 0; i < fns.size(); ++i) {
+      FunctionSummary s;
+      Converge(i, &s);
+      if (std::memcmp(&s, &summaries_[i], sizeof(s)) != 0) {
+        summaries_[i] = s;
+        stable = false;
+      }
+    }
+    if (stable) {
+      break;
+    }
+  }
+}
+
+VarState DataFlow::EntryState(const FunctionInfo& fn) const {
+  VarState state;
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    const ParamInfo& p = fn.params[i];
+    if (p.name.empty()) {
+      continue;
+    }
+    Provenance prov = IntrinsicNameBits(p.name);
+    if (p.is_pointer) {
+      prov |= kProvPointer;
+    }
+    if (i < static_cast<size_t>(kMaxTrackedParams)) {
+      prov |= ParamBit(static_cast<int>(i));
+    }
+    state[p.name] = prov;
+  }
+  return state;
+}
+
+Provenance DataFlow::Eval(const std::vector<Token>& toks,
+                          const VarState& state) const {
+  // Depth-guarded recursion through call arguments.
+  struct Evaluator {
+    const DataFlow& df;
+    const VarState& state;
+
+    Provenance Expr(const std::vector<Token>& raw, int depth) const {
+      if (depth > 8) {
+        return 0;
+      }
+      std::vector<Token> toks = WithoutSubscripts(raw);
+      Provenance out = 0;
+      std::vector<StmtCall> calls = ExtractCalls(toks);
+      for (const StmtCall& call : calls) {
+        out |= Call(call, depth);
+      }
+      for (size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind == Token::Kind::kPunct) {
+          if (t.text == "&") {
+            bool unary = i == 0 || (toks[i - 1].kind == Token::Kind::kPunct &&
+                                    toks[i - 1].text != ")" &&
+                                    toks[i - 1].text != "]") ||
+                         toks[i - 1].text == "return";
+            if (unary) {
+              out |= kProvPointer;
+            }
+          }
+          continue;
+        }
+        if (t.kind != Token::Kind::kIdent) {
+          continue;
+        }
+        if (t.text == "new" || t.text == "reinterpret_cast") {
+          out |= kProvPointer;
+          continue;
+        }
+        if (t.text == "this") {
+          bool deref = i + 1 < toks.size() && toks[i + 1].text == "->";
+          if (!deref) {
+            out |= kProvPointer;
+          }
+          continue;
+        }
+        // Skip member-chain tails, qualification pieces, call names, and
+        // template heads; plain base identifiers look up the state.
+        bool chained = i > 0 && (toks[i - 1].text == "." ||
+                                 toks[i - 1].text == "->" ||
+                                 toks[i - 1].text == "::");
+        bool qualifies = i + 1 < toks.size() && toks[i + 1].text == "::";
+        bool is_call_name =
+            i + 1 < toks.size() &&
+            (toks[i + 1].text == "(" || toks[i + 1].text == "<");
+        if (chained || qualifies ||
+            StmtKeywords().count(t.text) != 0) {
+          continue;
+        }
+        if (is_call_name && toks[i + 1].text == "(") {
+          continue;  // handled via Call()
+        }
+        if (is_call_name && toks[i + 1].text == "<") {
+          // Could be a template call name or a comparison's LHS; the call
+          // extractor decided. Either way include the state bits (harmless
+          // for call names: their own provenance is the call result).
+          if (ExtractedAsCall(calls, t)) {
+            continue;
+          }
+        }
+        out |= LookupVar(state, t.text);
+      }
+      return out;
+    }
+
+    static bool ExtractedAsCall(const std::vector<StmtCall>& calls,
+                                const Token& t) {
+      for (const StmtCall& c : calls) {
+        if (c.line == t.line && SimpleName(c.name) == t.text) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    Provenance Call(const StmtCall& call, int depth) const {
+      std::string simple = SimpleName(call.name);
+      if (simple == "WalkerSeed") {
+        Provenance p = kProvWalkerSeed;
+        for (const auto& arg : call.args) {
+          p |= Expr(arg, depth + 1);
+        }
+        return p;
+      }
+      if (simple == "DeriveSeed" || simple == "SplitMix64") {
+        Provenance p = 0;
+        for (const auto& arg : call.args) {
+          p |= Expr(arg, depth + 1);
+        }
+        return p;
+      }
+      if (IsUntrustedSourceCall(simple)) {
+        return kProvUntrusted;
+      }
+      if (IsThreadSourceCall(simple)) {
+        return kProvThreadId;
+      }
+      if (IsClockSourceCall(simple)) {
+        return kProvClock;
+      }
+      if (!call.receiver.empty()) {
+        if (IsPointerMethod(simple)) {
+          return kProvPointer;
+        }
+        if (simple == "load") {
+          return LookupVar(state, ReceiverBase(call.receiver));
+        }
+      }
+      std::vector<size_t> defs = df.wp_.Resolve(call.name);
+      if (defs.size() != 1) {
+        return 0;  // unknown or ambiguous: under-approximate
+      }
+      const FunctionSummary& cs = df.summaries_[defs[0]];
+      Provenance out = cs.returns & ~kProvParamMask;
+      for (int i = 0; i < kMaxTrackedParams; ++i) {
+        if ((cs.returns & ParamBit(i)) != 0 &&
+            static_cast<size_t>(i) < call.args.size()) {
+          out |= Expr(call.args[i], depth + 1);
+        }
+      }
+      return out;
+    }
+  };
+  return Evaluator{*this, state}.Expr(toks, 0);
+}
+
+void DataFlow::TransferStatement(const Statement& stmt, const FunctionInfo& fn,
+                                 VarState* state,
+                                 FunctionSummary* summary) const {
+  // Callee out-param writes and FM_CHECK-style sanitizers.
+  for (const StmtCall& call : stmt.calls) {
+    std::string simple = SimpleName(call.name);
+    if (IsCheckMacro(simple)) {
+      // A checked value is no longer untrusted, whatever the comparison; the
+      // macro name encodes it (FM_CHECK_LT etc.).
+      for (const Token& t : stmt.tokens) {
+        if (t.kind == Token::Kind::kIdent) {
+          auto it = state->find(t.text);
+          if (it != state->end()) {
+            it->second &= ~kProvUntrusted;
+          }
+        }
+      }
+      continue;
+    }
+    std::vector<size_t> defs = wp_.Resolve(call.name);
+    if (defs.size() != 1) {
+      continue;
+    }
+    const FunctionSummary& cs = summaries_[defs[0]];
+    for (int i = 0; i < kMaxTrackedParams; ++i) {
+      if (cs.writes_param[i] == 0 ||
+          static_cast<size_t>(i) >= call.args.size()) {
+        continue;
+      }
+      // The written-through argument must be a plain var or `&var`.
+      const std::vector<Token>& arg = call.args[i];
+      std::string target;
+      if (arg.size() == 1 && IsIdent(arg[0])) {
+        target = arg[0].text;
+      } else if (arg.size() == 2 && arg[0].text == "&" && IsIdent(arg[1])) {
+        target = arg[1].text;
+      }
+      if (target.empty()) {
+        continue;
+      }
+      Provenance w = cs.writes_param[i] & ~kProvParamMask;
+      for (int j = 0; j < kMaxTrackedParams; ++j) {
+        if ((cs.writes_param[i] & ParamBit(j)) != 0 &&
+            static_cast<size_t>(j) < call.args.size()) {
+          w |= Eval(call.args[j], *state);
+        }
+      }
+      (*state)[target] |= w;
+    }
+  }
+  if (!stmt.deref_write.empty()) {
+    Provenance prov = Eval(stmt.value, *state);
+    for (size_t i = 0; i < fn.params.size() &&
+                       i < static_cast<size_t>(kMaxTrackedParams);
+         ++i) {
+      if (fn.params[i].name == stmt.deref_write) {
+        summary->writes_param[i] |= prov;
+      }
+    }
+    return;
+  }
+  if (!stmt.def.empty()) {
+    Provenance prov = Eval(stmt.value, *state);
+    if (stmt.weak_def) {
+      (*state)[stmt.def] |= prov;
+    } else {
+      (*state)[stmt.def] = prov;
+    }
+  }
+}
+
+void DataFlow::ApplyCondition(const BasicBlock& block, VarState* state) const {
+  if (block.cond != BasicBlock::Cond::kIf) {
+    return;  // loop conditions are bounds (sinks), not sanitizers
+  }
+  static const std::set<std::string> kCompare = {"<",  ">",  "<=",
+                                                 ">=", "==", "!="};
+  bool compares = false;
+  for (const Token& t : block.cond_tokens) {
+    if (t.kind == Token::Kind::kPunct && kCompare.count(t.text) != 0) {
+      compares = true;
+      break;
+    }
+  }
+  if (!compares) {
+    return;
+  }
+  // Any variable that took part in a comparison has been checked against
+  // *something*; both branches continue with the taint cleared. Struct
+  // granularity means comparing one field clears the whole struct — that is
+  // the deliberate coarse side of the lattice.
+  for (const Token& t : block.cond_tokens) {
+    if (t.kind != Token::Kind::kIdent) {
+      continue;
+    }
+    auto it = state->find(t.text);
+    if (it != state->end()) {
+      it->second &= ~kProvUntrusted;
+    }
+  }
+}
+
+std::vector<VarState> DataFlow::Converge(size_t fn_index,
+                                         FunctionSummary* summary) const {
+  const Cfg& cfg = cfgs_[fn_index];
+  const FunctionInfo& fn = wp_.functions()[fn_index];
+  size_t n = cfg.blocks.size();
+  std::vector<std::vector<size_t>> preds(n);
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t s : cfg.blocks[b].succs) {
+      preds[s].push_back(b);
+    }
+  }
+  std::vector<VarState> in(n);
+  std::vector<VarState> out(n);
+  std::vector<char> visited(n, 0);
+  in[cfg.entry] = EntryState(fn);
+  visited[cfg.entry] = 1;
+
+  FunctionSummary local;
+  struct ReturnAcc {
+    bool any = false;
+    Provenance bad_and = ~0u;
+    Provenance good_or = 0;
+  };
+  for (int pass = 0; pass < 48; ++pass) {
+    bool changed = false;
+    local = FunctionSummary{};
+    ReturnAcc ret;
+    for (size_t b = 0; b < n; ++b) {
+      if (b != cfg.entry) {
+        std::vector<const VarState*> pred_states;
+        for (size_t p : preds[b]) {
+          if (visited[p]) {
+            pred_states.push_back(&out[p]);
+          }
+        }
+        if (pred_states.empty()) {
+          continue;
+        }
+        visited[b] = 1;
+        in[b] = MergeStates(pred_states);
+      }
+      VarState state = in[b];
+      for (const Statement& stmt : cfg.blocks[b].stmts) {
+        TransferStatement(stmt, fn, &state, &local);
+        if (stmt.is_return) {
+          Provenance p = Eval(stmt.value, state);
+          ret.any = true;
+          ret.bad_and &= p;
+          ret.good_or |= p & kGoodMask;
+        }
+      }
+      ApplyCondition(cfg.blocks[b], &state);
+      if (state != out[b]) {
+        out[b] = std::move(state);
+        changed = true;
+      }
+    }
+    local.returns =
+        (ret.any ? (ret.bad_and & kProvBadSeedMask) : 0) | ret.good_or;
+    if (!changed) {
+      break;
+    }
+  }
+  if (summary != nullptr) {
+    *summary = local;
+  }
+  return in;
+}
+
+void DataFlow::Visit(
+    size_t fn_index,
+    const std::function<void(const Statement&, const VarState&)>& on_stmt,
+    const std::function<void(const BasicBlock&, const VarState&)>& on_cond)
+    const {
+  const Cfg& cfg = cfgs_[fn_index];
+  std::vector<VarState> in = Converge(fn_index, nullptr);
+  // Re-derive reachability the same way Converge did: entry plus everything
+  // with a reachable predecessor.
+  std::vector<char> reach(cfg.blocks.size(), 0);
+  reach[cfg.entry] = 1;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!reach[b]) {
+        continue;
+      }
+      for (size_t s : cfg.blocks[b].succs) {
+        if (!reach[s]) {
+          reach[s] = 1;
+          grew = true;
+        }
+      }
+    }
+  }
+  const FunctionInfo& fn = wp_.functions()[fn_index];
+  FunctionSummary scratch;
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!reach[b]) {
+      continue;
+    }
+    VarState state = in[b];
+    if (on_cond && cfg.blocks[b].cond != BasicBlock::Cond::kNone) {
+      on_cond(cfg.blocks[b], state);
+    }
+    for (const Statement& stmt : cfg.blocks[b].stmts) {
+      if (on_stmt) {
+        on_stmt(stmt, state);
+      }
+      TransferStatement(stmt, fn, &state, &scratch);
+    }
+  }
+}
+
+DataFlow& DataFlowCache::Ensure(const WholeProgram& wp) {
+  if (!df_) {
+    df_ = std::make_unique<DataFlow>(wp);
+  }
+  return *df_;
+}
+
+void DataFlowCache::Release() {
+  if (++releases_ >= consumers_) {
+    releases_ = 0;
+    df_.reset();
+  }
+}
+
+}  // namespace fmlint

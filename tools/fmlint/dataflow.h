@@ -1,0 +1,184 @@
+// fmlint v4 data-flow layer — per-function CFGs, a small provenance/taint
+// lattice, and interprocedural function summaries over the parse.h token
+// stream and the callgraph.h symbol index.
+//
+// The lattice is a bitmask per tracked variable. Low bits are value sources
+// the rules care about; bits 16+ mark "this value flows from parameter i
+// unchanged enough to matter", which is what lets summaries substitute caller
+// argument provenance at call sites (DeriveSeed-style mixers preserve the
+// WalkerSeed bit through helper functions, and a header-reading helper in one
+// TU taints its caller's allocation size in another).
+//
+// Merge policy mirrors the call graph's deliberate under-approximation:
+//
+//   - "bad" bits (thread id, slot index, pointer, clock, untrusted input)
+//     merge with AND across paths and returns — a finding is reported only
+//     when every path carries the bad source, so ambiguous control flow can
+//     hide a bug but can never invent one and the whole-repo zero-findings
+//     gate stays meaningful.
+//   - the WalkerSeed bit and the parameter-passthrough bits merge with OR —
+//     the positive obligation (seeds must trace to WalkerSeed) gets the
+//     benefit of the doubt on any path that satisfies it.
+//
+// Calls resolve through WholeProgram::Resolve; ambiguous or unknown callees
+// contribute nothing (their result provenance is empty), again
+// under-approximating. Lambda bodies are treated as opaque single statements:
+// calls inside them are still observed (for the relaxed-publication scan) but
+// their local state is not modelled.
+#ifndef TOOLS_FMLINT_DATAFLOW_H_
+#define TOOLS_FMLINT_DATAFLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/fmlint/callgraph.h"
+#include "tools/fmlint/parse.h"
+
+namespace fmlint {
+
+using Provenance = uint32_t;
+
+// Value sources. kProvWalkerSeed is the one "good" bit (the rng rule demands
+// it); the others are forbidden seed sources / the taint bit.
+constexpr Provenance kProvWalkerSeed = 1u << 0;  // WalkerSeed(chunk_seed, i)
+constexpr Provenance kProvThreadId = 1u << 1;    // thread ids / pool sizes
+constexpr Provenance kProvSlotIndex = 1u << 2;   // ring-slot / lane indices
+constexpr Provenance kProvPointer = 1u << 3;     // addresses, .data(), new
+constexpr Provenance kProvClock = 1u << 4;       // wall/TSC time
+constexpr Provenance kProvUntrusted = 1u << 5;   // file-header bytes, unchecked
+
+constexpr Provenance kProvBadSeedMask =
+    kProvThreadId | kProvSlotIndex | kProvPointer | kProvClock |
+    kProvUntrusted;
+
+// Parameter-passthrough bits: value derives from parameter i of the enclosing
+// function. Only the first kMaxTrackedParams parameters are tracked.
+constexpr int kMaxTrackedParams = 8;
+constexpr Provenance ParamBit(int i) { return 1u << (16 + i); }
+constexpr Provenance kProvParamMask = 0xFFu << 16;
+
+// Human name for a single bad bit ("thread id", "ring-slot index", ...).
+const char* ProvenanceSourceName(Provenance bit);
+
+// A call observed inside a statement. Unlike parse.h's CallSite this keeps
+// the receiver chain and the argument token ranges, and it also catches
+// template calls (`LoadScalar<uint64_t>(p)`).
+struct StmtCall {
+  std::string name;      // final component ("Seed", "store", "LoadScalar")
+  std::string receiver;  // spelled receiver chain ("s.rng", "slot_"); "" free
+  size_t line = 0;
+  std::vector<std::vector<Token>> args;  // top-level-comma-split argument toks
+};
+
+// One statement, pre-digested for the transfer function.
+struct Statement {
+  size_t line = 0;
+  std::vector<Token> tokens;  // the full statement, for ad-hoc scans
+  std::string def;            // assigned/declared base variable; "" if none
+  bool weak_def = false;      // member/array/compound write: union with old
+  bool is_decl = false;
+  std::string decl_type;      // base type name for declarations; "" otherwise
+  std::string deref_write;    // `*p = ...`: the pointer written through
+  bool is_return = false;
+  std::vector<Token> value;   // rhs / init args / returned expression
+  std::vector<StmtCall> calls;
+};
+
+struct BasicBlock {
+  enum class Cond { kNone, kIf, kLoop, kSwitch };
+  Cond cond = Cond::kNone;
+  std::vector<Token> cond_tokens;  // condition/selector expression
+  size_t cond_line = 0;
+  std::vector<Statement> stmts;
+  std::vector<size_t> succs;
+};
+
+// entry has no statements; every `return`/`throw`/fall-off edge reaches exit.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  size_t entry = 0;
+  size_t exit = 0;
+};
+
+// Builds the CFG for one parsed function body (if/else, while, do, for —
+// including range-for — switch/case, break, continue, early return/throw).
+Cfg BuildCfg(const FunctionInfo& fn);
+
+// What a call site learns about a callee without looking inside it again.
+struct FunctionSummary {
+  // Provenance of the returned value; ParamBits refer to the callee's own
+  // parameters and are substituted with argument provenance at the call.
+  Provenance returns = 0;
+  // Provenance written through pointer/reference parameter i (`*p = ...`).
+  Provenance writes_param[kMaxTrackedParams] = {};
+};
+
+// Variable name -> provenance. Keys are base names: `h.num_vertices` tracks
+// under `h` (struct granularity), `a[i]` under `a` (element granularity).
+using VarState = std::map<std::string, Provenance>;
+
+// The shared analysis: CFGs for every definition in the WholeProgram plus
+// interprocedural summaries computed to a fixpoint. Valid while the
+// WholeProgram it was built from is analyzed.
+class DataFlow {
+ public:
+  explicit DataFlow(const WholeProgram& wp);
+
+  const Cfg& cfg(size_t fn_index) const { return cfgs_[fn_index]; }
+  const FunctionSummary& summary(size_t fn_index) const {
+    return summaries_[fn_index];
+  }
+
+  // Provenance of an expression under a state. Array subscript contents do
+  // not flow into the value (indexing an array with a slot does not make the
+  // element slot-derived); call results come from summaries or the intrinsic
+  // table (WalkerSeed, LoadScalar, clock/thread sources).
+  Provenance Eval(const std::vector<Token>& toks, const VarState& state) const;
+
+  // Runs the converged forward pass over one function and streams every
+  // reachable statement (with the state *before* it) and every condition
+  // block (with its incoming state) to the callbacks.
+  void Visit(
+      size_t fn_index,
+      const std::function<void(const Statement&, const VarState&)>& on_stmt,
+      const std::function<void(const BasicBlock&, const VarState&)>& on_cond)
+      const;
+
+ private:
+  VarState EntryState(const FunctionInfo& fn) const;
+  void TransferStatement(const Statement& stmt, const FunctionInfo& fn,
+                         VarState* state, FunctionSummary* summary) const;
+  void ApplyCondition(const BasicBlock& block, VarState* state) const;
+  // One whole-function pass; returns the per-block in-states.
+  std::vector<VarState> Converge(size_t fn_index,
+                                 FunctionSummary* summary) const;
+
+  const WholeProgram& wp_;
+  std::vector<Cfg> cfgs_;
+  std::vector<FunctionSummary> summaries_;
+};
+
+// Shares one DataFlow among the rules that need it, with the same
+// consumer-counted lifecycle as WholeProgram so an Engine can lint twice.
+class DataFlowCache {
+ public:
+  explicit DataFlowCache(int consumers) : consumers_(consumers) {}
+
+  // `wp` must be analyzed; builds on first call, reuses after.
+  DataFlow& Ensure(const WholeProgram& wp);
+  void Release();
+
+ private:
+  int consumers_;
+  int releases_ = 0;
+  std::unique_ptr<DataFlow> df_;
+};
+
+}  // namespace fmlint
+
+#endif  // TOOLS_FMLINT_DATAFLOW_H_

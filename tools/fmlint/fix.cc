@@ -1,10 +1,12 @@
 #include "tools/fmlint/fix.h"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <regex>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "tools/fmlint/lint.h"
@@ -172,11 +174,73 @@ size_t ApplyFixesToText(const std::string& rel_path, std::string* text) {
   return total;
 }
 
-FixResult FixTree(const std::string& root) {
+size_t InsertTaintJustifications(const std::vector<Diagnostic>& diags,
+                                 const std::string& rel_path,
+                                 std::string* text) {
+  // Collect target lines (1-based), dedup, sort descending so insertions
+  // never shift a later target.
+  std::vector<std::pair<size_t, const Diagnostic*>> targets;
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "untrusted-input-taint" || d.file != rel_path ||
+        d.line == 0) {
+      continue;
+    }
+    bool seen = false;
+    for (const auto& [line, diag] : targets) {
+      if (line == d.line) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      targets.emplace_back(d.line, &d);
+    }
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (targets.empty()) {
+    return 0;
+  }
+
+  std::vector<std::string> raw = SplitLines(*text);
+  bool ends_with_newline = !text->empty() && text->back() == '\n';
+  size_t inserted = 0;
+  for (const auto& [line, diag] : targets) {
+    if (line > raw.size()) {
+      continue;
+    }
+    const std::string& flagged = raw[line - 1];
+    std::string indent = flagged.substr(0, flagged.find_first_not_of(" \t"));
+    if (indent.size() == flagged.size()) {
+      indent.clear();  // blank line; no indentation to mirror
+    }
+    raw.insert(raw.begin() + static_cast<ptrdiff_t>(line - 1),
+               indent + "// taint: FIXME(fmlint --fix): justify — " +
+                   diag->message);
+    ++inserted;
+  }
+  if (inserted == 0) {
+    return 0;
+  }
+  std::string out;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out += raw[i];
+    if (i + 1 < raw.size() || ends_with_newline) {
+      out += '\n';
+    }
+  }
+  *text = std::move(out);
+  return inserted;
+}
+
+namespace {
+
+// Shared tree walk: every lintable file under root, fixture snippets skipped.
+std::vector<std::pair<fs::path, std::string>> LintableFiles(
+    const fs::path& root_path) {
   static constexpr const char* kDirs[] = {"src", "tests", "bench", "tools",
                                           "examples"};
-  FixResult result;
-  fs::path root_path(root);
+  std::vector<std::pair<fs::path, std::string>> out;
   for (const char* dir : kDirs) {
     fs::path sub = root_path / dir;
     if (!fs::is_directory(sub)) {
@@ -194,21 +258,62 @@ FixResult FixTree(const std::string& root) {
       if (rel.rfind("tests/fmlint_fixtures/", 0) == 0) {
         continue;
       }
-      std::ifstream in(entry.path(), std::ios::binary);
-      std::ostringstream buf;
-      if (!in || !(buf << in.rdbuf())) {
-        continue;
-      }
-      std::string text = buf.str();
-      size_t edits = ApplyFixesToText(rel, &text);
-      if (edits == 0) {
-        continue;
-      }
-      std::ofstream outf(entry.path(), std::ios::binary | std::ios::trunc);
-      outf << text;
-      ++result.files_changed;
-      result.edits += edits;
+      out.emplace_back(entry.path(), std::move(rel));
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+FixResult FixTree(const std::string& root) {
+  FixResult result;
+  fs::path root_path(root);
+  for (const auto& [path, rel] : LintableFiles(root_path)) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    if (!in || !(buf << in.rdbuf())) {
+      continue;
+    }
+    std::string text = buf.str();
+    size_t edits = ApplyFixesToText(rel, &text);
+    if (edits == 0) {
+      continue;
+    }
+    std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+    outf << text;
+    ++result.files_changed;
+    result.edits += edits;
+  }
+
+  // Second stage: lint the (mechanically fixed) tree and drop taint
+  // justification stubs above untrusted-input-taint findings.
+  Engine engine(BuildDefaultRules());
+  std::vector<Diagnostic> diags = engine.LintTree(root);
+  std::vector<std::string> taint_files;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "untrusted-input-taint" &&
+        std::find(taint_files.begin(), taint_files.end(), d.file) ==
+            taint_files.end()) {
+      taint_files.push_back(d.file);
+    }
+  }
+  for (const std::string& rel : taint_files) {
+    fs::path path = root_path / rel;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    if (!in || !(buf << in.rdbuf())) {
+      continue;
+    }
+    std::string text = buf.str();
+    size_t edits = InsertTaintJustifications(diags, rel, &text);
+    if (edits == 0) {
+      continue;
+    }
+    std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+    outf << text;
+    ++result.files_changed;
+    result.edits += edits;
   }
   return result;
 }

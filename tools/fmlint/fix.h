@@ -17,13 +17,23 @@
 // exemptions (src/util/sync.h, timer.h, ...) are honored, and any line
 // carrying an fmlint: directive is left alone. Fixing runs to a fixpoint, so
 // a second run is always a no-op (the idempotency test pins this).
+//
+// Beyond the textual substitutions, FixTree lints the tree once after the
+// mechanical pass and inserts a `// taint: FIXME(fmlint --fix): ...`
+// justification stub above every untrusted-input-taint finding, so a human
+// can replace the FIXME with the real bound argument. A second run finds no
+// taint diagnostics on those lines (the stub is the rule's escape hatch), so
+// the whole --fix pipeline stays idempotent.
 #ifndef TOOLS_FMLINT_FIX_H_
 #define TOOLS_FMLINT_FIX_H_
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace fmlint {
+
+struct Diagnostic;
 
 struct FixResult {
   size_t files_changed = 0;
@@ -33,6 +43,14 @@ struct FixResult {
 // Applies every mechanical fix to `text` (contents of `rel_path`), in place.
 // Returns the number of edits applied (0 = unchanged).
 size_t ApplyFixesToText(const std::string& rel_path, std::string* text);
+
+// Inserts a `// taint: FIXME(fmlint --fix): <message>` stub line above each
+// untrusted-input-taint diagnostic in `diags` that targets `rel_path`,
+// matching the flagged line's indentation. Insertions are applied bottom-up
+// so earlier diagnostics' line numbers stay valid. Returns insertions made.
+size_t InsertTaintJustifications(const std::vector<Diagnostic>& diags,
+                                 const std::string& rel_path,
+                                 std::string* text);
 
 // Walks the same directories as Engine::LintTree (skipping fixtures), fixing
 // files on disk.

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/timer.h"
+
 namespace fmlint {
 namespace {
 
@@ -154,8 +156,45 @@ std::string StripCommentsAndStrings(const std::string& text) {
           out += "  ";
           ++i;
         } else if (c == '"') {
-          state = State::kString;
-          out += '"';
+          // Raw string literal? The identifier run immediately before the
+          // quote must be exactly a raw-string prefix (R, uR, u8R, UR, LR);
+          // anything longer (FooR"...") is an ordinary adjacent identifier.
+          size_t p = i;
+          while (p > 0 && (std::isalnum(static_cast<unsigned char>(
+                               text[p - 1])) ||
+                           text[p - 1] == '_')) {
+            --p;
+          }
+          std::string prefix = text.substr(p, i - p);
+          bool is_raw = prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+                        prefix == "UR" || prefix == "LR";
+          size_t open_paren = is_raw ? text.find('(', i + 1) : std::string::npos;
+          if (is_raw && open_paren != std::string::npos &&
+              open_paren - (i + 1) <= 16) {
+            // Blank the already-emitted prefix (out tracks text 1:1), keep a
+            // plain quoted-empty shape, and blank the contents — delimiters
+            // included — preserving newlines so line structure survives.
+            for (size_t k = p; k < i; ++k) {
+              out[k] = ' ';
+            }
+            std::string term = ")" + text.substr(i + 1, open_paren - (i + 1)) +
+                               "\"";
+            size_t end = text.find(term, open_paren + 1);
+            size_t stop =
+                end == std::string::npos ? text.size() : end + term.size();
+            out += '"';
+            size_t last = end == std::string::npos ? text.size() : stop - 1;
+            for (size_t k = i + 1; k < last; ++k) {
+              out += text[k] == '\n' ? '\n' : ' ';
+            }
+            if (end != std::string::npos) {
+              out += '"';
+            }
+            i = stop - 1;
+          } else {
+            state = State::kString;
+            out += '"';
+          }
         } else if (c == '\'') {
           state = State::kChar;
           out += '\'';
@@ -245,6 +284,11 @@ std::vector<Diagnostic> Engine::Lint(
   std::vector<SuppressionTable> tables;
   std::vector<Diagnostic> bad_directives;
   files_linted_ = 0;
+  timings_.clear();
+  timings_.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    timings_.push_back({std::string(rule->name()), 0.0});
+  }
 
   for (const auto& [rel_path, text] : files) {
     SourceFile file = PrepareSource(rel_path, text);
@@ -297,12 +341,16 @@ std::vector<Diagnostic> Engine::Lint(
     }
     tables.push_back(std::move(table));
 
-    for (const auto& rule : rules_) {
-      rule->CheckFile(file, sink);
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      fm::Timer timer;
+      rules_[r]->CheckFile(file, sink);
+      timings_[r].seconds += timer.Elapsed();
     }
   }
-  for (const auto& rule : rules_) {
-    rule->Finish(sink);
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    fm::Timer timer;
+    rules_[r]->Finish(sink);
+    timings_[r].seconds += timer.Elapsed();
   }
 
   // Apply suppressions, then report the ones that caught nothing.
@@ -393,8 +441,27 @@ std::vector<Diagnostic> Engine::LintTree(const std::string& root) {
   return result;
 }
 
+namespace {
+
+// Fixed-point milliseconds with 3 decimals; avoids iostream float formatting.
+std::string MillisString(double seconds) {
+  double ms = seconds * 1000.0;
+  if (ms < 0) {
+    ms = 0;
+  }
+  auto micros = static_cast<unsigned long long>(ms * 1000.0 + 0.5);
+  std::string frac = std::to_string(micros % 1000);
+  while (frac.size() < 3) {
+    frac.insert(frac.begin(), '0');
+  }
+  return std::to_string(micros / 1000) + "." + frac;
+}
+
+}  // namespace
+
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags,
-                              size_t files_linted) {
+                              size_t files_linted,
+                              const std::vector<RuleTiming>* timings) {
   std::string out;
   out += "{\"schema\":\"fmlint-v2\",\"files\":";
   out += std::to_string(files_linted);
@@ -420,7 +487,69 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags,
     }
     out += '}';
   }
-  out += "\n]}\n";
+  out += "\n]";
+  if (timings != nullptr) {
+    out += ",\"timings\":{";
+    double total = 0;
+    for (size_t i = 0; i < timings->size(); ++i) {
+      const RuleTiming& t = (*timings)[i];
+      total += t.seconds;
+      if (i != 0) {
+        out += ',';
+      }
+      out += '\n';
+      AppendJsonString(&out, t.rule);
+      out += ':';
+      out += MillisString(t.seconds);
+    }
+    if (!timings->empty()) {
+      out += ",\n";
+    }
+    out += "\"total_ms\":";
+    out += MillisString(total);
+    out += '}';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DiagnosticsToSarif(
+    const std::vector<Diagnostic>& diags,
+    const std::vector<std::unique_ptr<Rule>>& rules) {
+  std::string out;
+  out +=
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"fmlint\",\"informationUri\":"
+      "\"tools/fmlint\",\"rules\":[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += "\n{\"id\":";
+    AppendJsonString(&out, std::string(rules[i]->name()));
+    out += ",\"shortDescription\":{\"text\":";
+    AppendJsonString(&out, std::string(rules[i]->description()));
+    out += "}}";
+  }
+  out += "\n]}},\"results\":[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) {
+      out += ',';
+    }
+    out += "\n{\"ruleId\":";
+    AppendJsonString(&out, d.rule);
+    out += ",\"level\":\"error\",\"message\":{\"text\":";
+    AppendJsonString(&out, d.message);
+    out += "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+           "{\"uri\":";
+    AppendJsonString(&out, d.file);
+    out += ",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":";
+    out += std::to_string(d.line == 0 ? 1 : d.line);
+    out += "}}}]}";
+  }
+  out += "\n]}]}\n";
   return out;
 }
 

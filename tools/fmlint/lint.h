@@ -73,6 +73,15 @@ std::vector<std::string> SplitLines(const std::string& text);
 // Builds a SourceFile (splitting, stripping, header detection) from raw text.
 SourceFile PrepareSource(std::string rel_path, const std::string& text);
 
+// Wall-clock seconds a rule spent across its CheckFile calls and Finish.
+// Shared whole-program analyses (parse, call graph, data flow) are attributed
+// to the rule whose Finish triggered them — the first consumer of each shared
+// structure.
+struct RuleTiming {
+  std::string rule;
+  double seconds = 0;
+};
+
 class Engine {
  public:
   explicit Engine(std::vector<std::unique_ptr<Rule>> rules);
@@ -89,21 +98,35 @@ class Engine {
 
   size_t files_linted() const { return files_linted_; }
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  // Per-rule wall-clock timings of the most recent Lint/LintTree call, in
+  // registration order.
+  const std::vector<RuleTiming>& rule_timings() const { return timings_; }
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
   size_t files_linted_ = 0;
+  std::vector<RuleTiming> timings_;
 };
 
 // The registered rule set: the eleven per-line/per-tree rules
-// (tools/fmlint/rules.cc) plus the eight whole-program rules — layer-dag,
-// header-discipline, lock-order, the hot-path family, and telemetry-hot-path
-// (tools/fmlint/analysis.cc).
+// (tools/fmlint/rules.cc) plus the eleven whole-program rules — layer-dag,
+// header-discipline, lock-order, the hot-path family, telemetry-hot-path,
+// and the data-flow trio rng-stream-discipline / untrusted-input-taint /
+// relaxed-publication (tools/fmlint/analysis.cc).
 std::vector<std::unique_ptr<Rule>> BuildDefaultRules();
 
 // {"schema":"fmlint-v2","files":N,"violations":N,"diagnostics":[...]}.
+// When `timings` is non-null a "timings" object (per-rule milliseconds plus
+// "total_ms") is appended — additive, so fmlint-v2 consumers keep working.
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags,
-                              size_t files_linted);
+                              size_t files_linted,
+                              const std::vector<RuleTiming>* timings = nullptr);
+
+// SARIF 2.1.0 document for code-scanning upload: one run, one result per
+// diagnostic, rule metadata from the registry. Lines are clamped to >= 1
+// (SARIF regions are 1-based; line-0 io diagnostics map to line 1).
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diags,
+                               const std::vector<std::unique_ptr<Rule>>& rules);
 
 }  // namespace fmlint
 

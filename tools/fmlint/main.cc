@@ -1,12 +1,15 @@
 // fmlint CLI — lints the repo tree with the default rule set.
 //
-// Usage: fmlint [--json] [--fix] [--list-rules] <repo-root>
+// Usage: fmlint [--json] [--sarif] [--fix] [--list-rules] <repo-root>
 //
 // Default output is one `path:line: [rule] message` line per diagnostic on
 // stderr (plus a `fixit:` line when the rule has a suggestion); --json writes
-// a machine-readable fmlint-v2 document to stdout instead. --fix applies the
-// mechanical fix-it hints (include-guard, raw-mutex, raw-clock) in place
-// before linting. Exit status: 0 clean, 1 violations, 2 usage/IO error.
+// a machine-readable fmlint-v2 document (with per-rule wall-clock timings) to
+// stdout instead, and --sarif writes a SARIF 2.1.0 document for code-scanning
+// upload. --fix applies the mechanical fix-it hints (include-guard, raw-mutex,
+// raw-clock) in place and inserts `// taint: FIXME` justification stubs above
+// untrusted-input-taint findings before linting. Exit status: 0 clean,
+// 1 violations, 2 usage/IO error.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -16,14 +19,24 @@
 #include "tools/fmlint/lint.h"
 #include "tools/fmlint/rules.h"
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: fmlint [--json] [--sarif] [--fix] [--list-rules] <repo-root>\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   bool list_rules = false;
   bool fix = false;
   const char* root = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      sarif = true;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       list_rules = true;
     } else if (std::strcmp(argv[i], "--fix") == 0) {
@@ -31,12 +44,15 @@ int main(int argc, char** argv) {
     } else if (root == nullptr && argv[i][0] != '-') {
       root = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: fmlint [--json] [--fix] [--list-rules] "
-                   "<repo-root>\n");
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
+  if (json && sarif) {
+    std::fprintf(stderr, "fmlint: --json and --sarif are mutually exclusive\n");
+    return 2;
+  }
+  bool machine = json || sarif;
 
   fmlint::Engine engine(fmlint::BuildDefaultRules());
   if (list_rules) {
@@ -47,8 +63,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (root == nullptr) {
-    std::fprintf(stderr,
-                 "usage: fmlint [--json] [--fix] [--list-rules] <repo-root>\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
   if (!std::filesystem::is_directory(root)) {
@@ -58,7 +73,7 @@ int main(int argc, char** argv) {
 
   if (fix) {
     fmlint::FixResult fixed = fmlint::FixTree(root);
-    if (!json) {
+    if (!machine) {
       std::fprintf(stderr, "fmlint: applied %zu fix(es) in %zu file(s)\n",
                    fixed.edits, fixed.files_changed);
     }
@@ -66,7 +81,12 @@ int main(int argc, char** argv) {
 
   std::vector<fmlint::Diagnostic> diags = engine.LintTree(root);
   if (json) {
-    std::fputs(fmlint::DiagnosticsToJson(diags, engine.files_linted()).c_str(),
+    std::fputs(fmlint::DiagnosticsToJson(diags, engine.files_linted(),
+                                         &engine.rule_timings())
+                   .c_str(),
+               stdout);
+  } else if (sarif) {
+    std::fputs(fmlint::DiagnosticsToSarif(diags, engine.rules()).c_str(),
                stdout);
   } else {
     for (const fmlint::Diagnostic& d : diags) {
@@ -83,13 +103,13 @@ int main(int argc, char** argv) {
     }
   }
   if (!diags.empty()) {
-    if (!json) {
+    if (!machine) {
       std::fprintf(stderr, "fmlint: %zu violation(s) in %zu files\n",
                    diags.size(), engine.files_linted());
     }
     return 1;
   }
-  if (!json) {
+  if (!machine) {
     std::printf("fmlint: %zu files clean\n", engine.files_linted());
   }
   return 0;

@@ -348,6 +348,78 @@ void CollectMarkers(const std::vector<Token>& toks,
   }
 }
 
+// Extracts parameter names from the `( ... )` starting right after the
+// function name at `name_idx`. Each top-level-comma fragment's parameter name
+// is its last plain identifier before any default-value `=`; a `*` anywhere
+// in the fragment marks a pointer. `void`, `...`, and nameless parameters
+// contribute placeholder entries so positions stay aligned with call
+// arguments.
+std::vector<ParamInfo> ExtractParams(const std::vector<Token>& toks,
+                                     size_t name_idx) {
+  std::vector<ParamInfo> params;
+  if (name_idx + 1 >= toks.size() || toks[name_idx + 1].text != "(") {
+    return params;
+  }
+  int depth = 0;
+  ParamInfo cur;
+  std::string last_ident;
+  bool defaulted = false;
+  auto flush = [&]() {
+    cur.name = defaulted || last_ident == "void" ? cur.name : last_ident;
+    if (cur.name == "void") {
+      cur.name.clear();
+    }
+    params.push_back(cur);
+    cur = ParamInfo{};
+    last_ident.clear();
+    defaulted = false;
+  };
+  bool any = false;
+  for (size_t i = name_idx + 1; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") {
+      if (++depth == 1) {
+        continue;
+      }
+    } else if (t == ")" || t == "]" || t == "}") {
+      if (--depth == 0) {
+        if (any || !last_ident.empty() || cur.is_pointer) {
+          flush();
+        }
+        break;
+      }
+    }
+    if (depth != 1) {
+      continue;
+    }
+    if (t == ",") {
+      flush();
+      any = true;
+      continue;
+    }
+    if (t == "=") {
+      // Default value: the name has already been seen.
+      cur.name = last_ident;
+      defaulted = true;
+      continue;
+    }
+    if (t == "*") {
+      cur.is_pointer = true;
+      continue;
+    }
+    if (toks[i].kind == Token::Kind::kIdent && !IsMacroLike(t) &&
+        CallKeywords().count(t) == 0 && t != "const") {
+      last_ident = t;
+      any = true;
+    }
+  }
+  // A lone nameless `void` parameter list collapses to nothing.
+  if (params.size() == 1 && params[0].name.empty() && !params[0].is_pointer) {
+    params.clear();
+  }
+  return params;
+}
+
 std::string JoinClassScopes(const std::vector<Scope>& scopes) {
   std::string joined;
   for (const Scope& s : scopes) {
@@ -560,6 +632,7 @@ std::vector<FunctionInfo> ParseFunctions(const SourceFile& file) {
           fn.file = file.rel_path;
           fn.line = pending[name_idx].line;
           CollectMarkers(pending, enclosing_class, &fn);
+          fn.params = ExtractParams(pending, name_idx);
           i = ParseBody(toks, i + 1, enclosing_class, &fn);
           functions.push_back(std::move(fn));
           pending.clear();

@@ -68,6 +68,14 @@ struct DeclSite {
   size_t line = 0;
 };
 
+// A formal parameter of a function definition, as much of it as the data-flow
+// layer needs: the name (entry-state key / summary index) and whether it is a
+// pointer (`T*` / `T* const`), which seeds pointer provenance.
+struct ParamInfo {
+  std::string name;
+  bool is_pointer = false;
+};
+
 struct FunctionInfo {
   std::string name;       // simple name: "SampleVp", "operator()", "~Mutex"
   std::string qualified;  // scope-qualified: "StepKernel::SampleVp"
@@ -79,6 +87,9 @@ struct FunctionInfo {
   std::vector<std::string> requires_locks;
   // Lock names from FM_ACQUIRE(...): this function takes them itself.
   std::vector<std::string> acquires_locks;
+  // Formal parameters of the definition, in order (tools/fmlint/dataflow.h
+  // tracks the first eight).
+  std::vector<ParamInfo> params;
   std::vector<CallSite> calls;
   std::vector<LockSite> locks;
   std::vector<DeclSite> decls;
